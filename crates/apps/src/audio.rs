@@ -1,0 +1,376 @@
+//! The A2DP audio application (paper Sec 4.7): PCM → SBC frames →
+//! RTP/L2CAP media packets → slot-scheduled BR packets synthesized by
+//! BlueFi on a single WiFi channel with AFH-restricted hopping.
+//!
+//! The paper's strategies, all implemented here:
+//!
+//! * hopping is confined by AFH to the Bluetooth channels under one WiFi
+//!   channel (frequency hopping happens across *subcarriers*, not WiFi
+//!   channels);
+//! * for multi-slot audio, the 3 best channels carry DH5 packets; slots
+//!   whose hop lands elsewhere stay idle;
+//! * packets are generated against the clock value of the slot they will
+//!   be transmitted in (the whitening seed depends on it) — the real-time
+//!   decoder exists to make this feasible at 1.25 ms pacing.
+
+use crate::l2cap::{fragment, l2cap_frame, MediaHeader, A2DP_STREAM_CID};
+use crate::sbc::{SbcCodec, SbcParams};
+use bluefi_bt::br::{br_air_bits, BrDecode, BrHeader, BtAddress, PacketType};
+use bluefi_bt::hopping::{ChannelMap, HopSelector, SlotClock};
+use bluefi_bt::receiver::{GfskReceiver, ReceiverConfig};
+use bluefi_core::pipeline::{BlueFi, Synthesis};
+use bluefi_core::reversal::DecodeStrategy;
+use bluefi_sim::channel::Channel;
+use bluefi_wifi::channels::{
+    bt_channel_freq_hz, subcarrier_in_channel, usable_bt_channels_in_wifi, ChannelPlan,
+};
+use bluefi_wifi::subcarriers::SUBCARRIER_SPACING_HZ;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+
+/// Audio-session configuration.
+#[derive(Debug, Clone)]
+pub struct AudioConfig {
+    /// Master device address.
+    pub addr: BtAddress,
+    /// WiFi channel everything rides on.
+    pub wifi_channel: u8,
+    /// How many "best" Bluetooth channels carry audio (the paper uses 3).
+    pub n_audio_channels: usize,
+    /// Packet type for audio (5-slot; DM5's rate-2/3 FEC suits the
+    /// simulated receiver's residual BER — see EXPERIMENTS.md).
+    pub ptype: PacketType,
+    /// Codec parameters.
+    pub sbc: SbcParams,
+}
+
+impl Default for AudioConfig {
+    fn default() -> AudioConfig {
+        AudioConfig {
+            addr: BtAddress { lap: 0x2A5F17, uap: 0x63, nap: 0x0001 },
+            wifi_channel: 3,
+            n_audio_channels: 3,
+            ptype: PacketType::Dm5,
+            sbc: SbcParams::default(),
+        }
+    }
+}
+
+/// Ranks the usable Bluetooth channels under a WiFi channel by pilot/null
+/// clearance, best first — the paper's "select 3 best channels".
+pub fn ranked_channels(wifi_channel: u8) -> Vec<u8> {
+    let mut chans = usable_bt_channels_in_wifi(wifi_channel);
+    chans.sort_by(|&a, &b| {
+        let ca = ChannelPlan::pinned(
+            wifi_channel,
+            subcarrier_in_channel(bt_channel_freq_hz(a), wifi_channel),
+        )
+        .clearance;
+        let cb = ChannelPlan::pinned(
+            wifi_channel,
+            subcarrier_in_channel(bt_channel_freq_hz(b), wifi_channel),
+        )
+        .clearance;
+        cb.total_cmp(&ca)
+    });
+    chans
+}
+
+/// A scheduled transmission.
+#[derive(Debug)]
+pub struct ScheduledPacket {
+    /// Starting slot.
+    pub slot: u32,
+    /// Bluetooth channel it flies on.
+    pub bt_channel: u8,
+    /// The synthesized WiFi PSDU.
+    pub synthesis: Synthesis,
+    /// The BR payload carried.
+    pub payload: Vec<u8>,
+    /// Whitening clock bits used.
+    pub clk6_1: u8,
+}
+
+/// The streamer: builds the schedule and the per-slot packets for a PCM
+/// stream.
+pub struct A2dpStreamer {
+    cfg: AudioConfig,
+    codec: SbcCodec,
+    bf: BlueFi,
+    hop: HopSelector,
+    map: ChannelMap,
+    audio_channels: Vec<u8>,
+    sequence: u16,
+    timestamp: u32,
+}
+
+impl A2dpStreamer {
+    /// Creates a streamer.
+    pub fn new(cfg: AudioConfig) -> A2dpStreamer {
+        let audio_channels: Vec<u8> =
+            ranked_channels(cfg.wifi_channel).into_iter().take(cfg.n_audio_channels).collect();
+        let map = ChannelMap::from_channels(usable_bt_channels_in_wifi(cfg.wifi_channel));
+        let hop = HopSelector::new(cfg.addr.lap, cfg.addr.uap);
+        let codec = SbcCodec::new(cfg.sbc);
+        // Real-time generation: the paper's O(T) decoder at MCS 5.
+        let bf = BlueFi { strategy: DecodeStrategy::Realtime, ..Default::default() };
+        A2dpStreamer { cfg, codec, bf, hop, map, audio_channels, sequence: 0, timestamp: 0 }
+    }
+
+    /// The channels carrying audio (best-first).
+    pub fn audio_channels(&self) -> &[u8] {
+        &self.audio_channels
+    }
+
+    /// Encodes PCM into media packets (L2CAP frames ready for the
+    /// baseband).
+    pub fn media_packets(&mut self, pcm: &[f64]) -> Vec<Vec<u8>> {
+        let spf = self.cfg.sbc.samples_per_frame();
+        let mut out = Vec::new();
+        for chunk in pcm.chunks_exact(spf) {
+            let frame = self.codec.encode_frame(chunk);
+            let hdr = MediaHeader {
+                sequence: self.sequence,
+                timestamp: self.timestamp,
+                ssrc: 0xB1DEF1,
+                n_frames: 1,
+            };
+            self.sequence = self.sequence.wrapping_add(1);
+            self.timestamp = self.timestamp.wrapping_add(spf as u32);
+            let media = hdr.packetize(&frame);
+            out.push(l2cap_frame(A2DP_STREAM_CID, &media).to_vec());
+        }
+        out
+    }
+
+    /// Schedules and synthesizes packets for `l2cap_frames` starting at
+    /// `start_slot`. Each packet waits for a master TX slot whose hop lands
+    /// on one of the audio channels, then occupies the packet's slots.
+    pub fn schedule(&self, l2cap_frames: &[Vec<u8>], start_slot: u32) -> Vec<ScheduledPacket> {
+        let chunk_size = self.cfg.ptype.max_payload();
+        let mut chunks: Vec<Vec<u8>> = Vec::new();
+        for f in l2cap_frames {
+            chunks.extend(fragment(f, chunk_size));
+        }
+        let mut out = Vec::new();
+        let mut slot = if start_slot.is_multiple_of(2) { start_slot } else { start_slot + 1 };
+        for chunk in chunks {
+            // Hunt for a slot whose hop channel is one of ours.
+            let (tx_slot, ch) = loop {
+                let clk = SlotClock::at_slot(slot);
+                let ch = self.hop.channel(clk.clk, &self.map);
+                if self.audio_channels.contains(&ch) {
+                    break (slot, ch);
+                }
+                slot += 2; // next master TX slot
+            };
+            let clk = SlotClock::at_slot(tx_slot);
+            let header = BrHeader {
+                lt_addr: 1,
+                ptype: self.cfg.ptype,
+                flow: true,
+                arqn: false,
+                seqn: tx_slot % 4 == 0,
+            };
+            let bits = br_air_bits(self.cfg.addr, &header, &chunk, clk.clk6_1());
+            let sc = subcarrier_in_channel(bt_channel_freq_hz(ch), self.cfg.wifi_channel);
+            // Snap within the BT carrier tolerance like the planner does.
+            let sc = if (sc.round() - sc).abs() <= bluefi_wifi::channels::MAX_SNAP_SUBCARRIERS
+            {
+                sc.round()
+            } else {
+                sc
+            };
+            let plan = ChannelPlan {
+                wifi_channel: self.cfg.wifi_channel,
+                subcarrier: subcarrier_in_channel(
+                    bt_channel_freq_hz(ch),
+                    self.cfg.wifi_channel,
+                ),
+                tx_subcarrier: sc,
+                clearance: bluefi_wifi::channels::distance_to_pilot_or_null(sc),
+            };
+            let synthesis = self.bf.synthesize_at(&bits, plan, 71);
+            out.push(ScheduledPacket {
+                slot: tx_slot,
+                bt_channel: ch,
+                synthesis,
+                payload: chunk,
+                clk6_1: clk.clk6_1(),
+            });
+            // A packet occupies `slots()` slots; the next master TX slot is
+            // the next even slot after it ends.
+            slot = tx_slot + self.cfg.ptype.slots() as u32 + 1;
+            if slot % 2 == 1 {
+                slot += 1;
+            }
+        }
+        out
+    }
+}
+
+/// FTS4BT-style packet classification (Figs 9 and 10).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct SnifferCounts {
+    /// Decoded with valid CRC.
+    pub no_error: usize,
+    /// Header valid, payload CRC failed.
+    pub crc_error: usize,
+    /// Access code found but header unrecoverable — or nothing at all.
+    pub header_error: usize,
+}
+
+impl SnifferCounts {
+    /// Total packets observed.
+    pub fn total(&self) -> usize {
+        self.no_error + self.crc_error + self.header_error
+    }
+
+    /// Packet error rate (everything but clean packets).
+    pub fn per(&self) -> f64 {
+        if self.total() == 0 {
+            return 0.0;
+        }
+        1.0 - self.no_error as f64 / self.total() as f64
+    }
+}
+
+/// Runs `n` packets of `ptype` on one Bluetooth channel through the office
+/// channel and classifies them like the FTS4BT sniffer (Fig 9 is this with
+/// single-slot packets, channel by channel).
+pub fn sniff_channel(
+    cfg: &AudioConfig,
+    bt_channel: u8,
+    ptype: PacketType,
+    n: usize,
+    distance_m: f64,
+    seed: u64,
+) -> SnifferCounts {
+    let bf = BlueFi { strategy: DecodeStrategy::Realtime, ..Default::default() };
+    let sc_true = subcarrier_in_channel(bt_channel_freq_hz(bt_channel), cfg.wifi_channel);
+    let sc_tx = if (sc_true.round() - sc_true).abs()
+        <= bluefi_wifi::channels::MAX_SNAP_SUBCARRIERS
+    {
+        sc_true.round()
+    } else {
+        sc_true
+    };
+    let plan = ChannelPlan {
+        wifi_channel: cfg.wifi_channel,
+        subcarrier: sc_true,
+        tx_subcarrier: sc_tx,
+        clearance: bluefi_wifi::channels::distance_to_pilot_or_null(sc_tx),
+    };
+    let chip = bluefi_wifi::ChipModel::rtl8811au();
+    let channel = Channel::new(bluefi_sim::channel::ChannelConfig::office(distance_m));
+    let rx = GfskReceiver::new(ReceiverConfig {
+        channel_offset_hz: sc_true * SUBCARRIER_SPACING_HZ,
+        ..Default::default()
+    });
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut counts = SnifferCounts::default();
+    for k in 0..n {
+        let clk6_1 = (k % 64) as u8;
+        let header = BrHeader {
+            lt_addr: 1,
+            ptype,
+            flow: true,
+            arqn: false,
+            seqn: k % 2 == 0,
+        };
+        let payload: Vec<u8> =
+            (0..ptype.max_payload()).map(|i| ((i + k) % 251) as u8).collect();
+        let bits = br_air_bits(cfg.addr, &header, &payload, clk6_1);
+        let syn = bf.synthesize_at(&bits, plan, 71);
+        let ppdu = chip.transmit_with_seed(&syn.psdu, syn.mcs, 18.0, 71);
+        let rx_wave = channel.apply(&ppdu.iq, &mut rng);
+        match rx.receive_br(&rx_wave, cfg.addr.lap, cfg.addr.uap, clk6_1).decode {
+            Some(BrDecode::Ok { payload: p, .. }) if p == payload => counts.no_error += 1,
+            Some(BrDecode::Ok { .. }) | Some(BrDecode::CrcError { .. }) => {
+                counts.crc_error += 1
+            }
+            Some(BrDecode::HeaderError) | None => counts.header_error += 1,
+        }
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranked_channels_prefer_clearance() {
+        let chans = ranked_channels(3);
+        assert!(chans.len() >= 16);
+        let clearance = |c: u8| {
+            bluefi_wifi::channels::distance_to_pilot_or_null(subcarrier_in_channel(
+                bt_channel_freq_hz(c),
+                3,
+            ))
+        };
+        // Best-ranked beats worst-ranked.
+        assert!(clearance(chans[0]) > clearance(*chans.last().unwrap()));
+    }
+
+    #[test]
+    fn media_packets_wrap_sbc_frames() {
+        let mut s = A2dpStreamer::new(AudioConfig::default());
+        let pcm: Vec<f64> = (0..128 * 3).map(|i| (i as f64 * 0.05).sin() * 0.3).collect();
+        let pkts = s.media_packets(&pcm);
+        assert_eq!(pkts.len(), 3);
+        for p in &pkts {
+            let (cid, media) = crate::l2cap::parse_l2cap(p).unwrap();
+            assert_eq!(cid, A2DP_STREAM_CID);
+            let (hdr, sbc) = MediaHeader::parse(media).unwrap();
+            assert_eq!(hdr.n_frames, 1);
+            assert_eq!(sbc[0], 0x9C);
+        }
+    }
+
+    #[test]
+    fn schedule_uses_only_audio_channels_and_master_slots() {
+        let s = A2dpStreamer::new(AudioConfig::default());
+        let frames: Vec<Vec<u8>> = (0..4).map(|i| vec![i as u8; 200]).collect();
+        let sched = s.schedule(&frames, 100);
+        assert!(!sched.is_empty());
+        for p in &sched {
+            assert!(s.audio_channels().contains(&p.bt_channel), "{}", p.bt_channel);
+            assert_eq!(p.slot % 2, 0, "master TX slots are even");
+        }
+        // Packets do not overlap.
+        for w in sched.windows(2) {
+            assert!(w[1].slot >= w[0].slot + 5, "{} then {}", w[0].slot, w[1].slot);
+        }
+    }
+
+    #[test]
+    fn scheduled_packets_use_realtime_mcs() {
+        let s = A2dpStreamer::new(AudioConfig::default());
+        let sched = s.schedule(&[vec![1u8; 150]], 0);
+        assert_eq!(sched[0].synthesis.mcs.index, 5);
+    }
+
+    #[test]
+    fn sniffer_counts_math() {
+        let c = SnifferCounts { no_error: 75, crc_error: 20, header_error: 5 };
+        assert_eq!(c.total(), 100);
+        assert!((c.per() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn good_channel_beats_pilot_adjacent_channel() {
+        // The Fig 9 mechanism: a Bluetooth channel near a pilot suffers.
+        let cfg = AudioConfig::default();
+        // WiFi channel 3 (2422 MHz): pilot +7 ≈ 2424.19 MHz -> BT channel 22
+        // sits ~0.6 subcarriers from it; BT channel 24 (2426 MHz) snaps to
+        // subcarrier 13, clearance 6.
+        let good = sniff_channel(&cfg, 24, PacketType::Dh1, 12, 1.5, 5);
+        let bad = sniff_channel(&cfg, 22, PacketType::Dh1, 12, 1.5, 5);
+        assert!(
+            good.no_error > bad.no_error,
+            "good {good:?} vs bad {bad:?}"
+        );
+    }
+}

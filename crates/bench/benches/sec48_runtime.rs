@@ -1,0 +1,110 @@
+//! Sec 4.8 — execution time and complexity: per-stage timing of packet
+//! generation (IQ generation, FFT+QAM, FEC reversal, scrambler), comparing
+//! the weighted Viterbi against the real-time O(T) decoder.
+//!
+//! The paper: Python 2.60 s/packet (FEC 2.39 s), C 46.88 ms, real-time
+//! decoder + FFTW ≈ 0.954 ms — a ~50x decoder speedup with FEC dominating
+//! everywhere. Absolute numbers differ here; the *ratios* are the result.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use bluefi_bt::ble::{adv_air_bits, AdvPdu, AdvPduType};
+use bluefi_bt::gfsk::{modulate_phase, GfskParams};
+use bluefi_coding::lfsr::scramble;
+use bluefi_core::cp::CpCompat;
+use bluefi_core::pipeline::BlueFi;
+use bluefi_core::qam::{Quantizer, ScaleMode, DEFAULT_SCALE};
+use bluefi_core::reversal::{coded_stream, reverse_fec, DecodeStrategy, WeightProfile};
+use bluefi_wifi::channels::ChannelPlan;
+use bluefi_wifi::Modulation;
+
+fn beacon_bits() -> Vec<bool> {
+    let pdu = AdvPdu {
+        pdu_type: AdvPduType::AdvNonconnInd,
+        adv_address: [1, 2, 3, 4, 5, 6],
+        adv_data: (0..30).collect(),
+        tx_add: false,
+    };
+    adv_air_bits(&pdu, 38)
+}
+
+fn bench_stages(c: &mut Criterion) {
+    let gfsk = GfskParams::default();
+    let bits = beacon_bits();
+    let offset_hz = 13.0 * bluefi_wifi::subcarriers::SUBCARRIER_SPACING_HZ;
+    let cp = CpCompat::sgi();
+
+    c.bench_function("stage1_iq_generation", |b| {
+        b.iter(|| {
+            let phase = modulate_phase(black_box(&bits), &gfsk, offset_hz);
+            black_box(cp.make_compatible(&phase, offset_hz / gfsk.sample_rate_hz))
+        })
+    });
+
+    let phase = modulate_phase(&bits, &gfsk, offset_hz);
+    let theta = cp.make_compatible(&phase, offset_hz / gfsk.sample_rate_hz);
+    let bodies = cp.strip_cp(&theta);
+    let quant = Quantizer::new(Modulation::Qam64, ScaleMode::Fixed(DEFAULT_SCALE));
+    c.bench_function("stage2_fft_qam", |b| {
+        b.iter(|| {
+            for body in &bodies {
+                black_box(quant.quantize_body(black_box(body)));
+            }
+        })
+    });
+
+    // FEC reversal, both ways, on realistic symbol counts.
+    let mk_coded = |strategy: DecodeStrategy| {
+        let mcs = strategy.mcs();
+        let q = Quantizer::new(mcs.modulation, ScaleMode::Fixed(DEFAULT_SCALE));
+        let symbols: Vec<_> = bodies.iter().map(|b| q.quantize_body(b)).collect();
+        coded_stream(&symbols, mcs, 13.0, &WeightProfile::default())
+    };
+    let (coded56, weights56) = mk_coded(DecodeStrategy::WeightedViterbi);
+    c.bench_function("stage3_fec_weighted_viterbi", |b| {
+        b.iter(|| {
+            black_box(reverse_fec(
+                black_box(&coded56),
+                &weights56,
+                DecodeStrategy::WeightedViterbi,
+                13.0,
+            ))
+        })
+    });
+    let (coded23, weights23) = mk_coded(DecodeStrategy::Realtime);
+    c.bench_function("stage3_fec_realtime", |b| {
+        b.iter(|| {
+            black_box(reverse_fec(
+                black_box(&coded23),
+                &weights23,
+                DecodeStrategy::Realtime,
+                13.0,
+            ))
+        })
+    });
+
+    let data: Vec<bool> = (0..coded56.len() * 5 / 6).map(|i| i % 3 == 0).collect();
+    c.bench_function("stage4_scrambler", |b| {
+        b.iter(|| black_box(scramble(71, black_box(&data))))
+    });
+
+    // End to end, both strategies.
+    let plan = ChannelPlan::pinned(3, 13.0);
+    for (name, strategy) in [
+        ("end_to_end_viterbi", DecodeStrategy::WeightedViterbi),
+        ("end_to_end_realtime", DecodeStrategy::Realtime),
+    ] {
+        let bf = BlueFi { strategy, ..Default::default() };
+        c.bench_function(name, |b| {
+            b.iter(|| black_box(bf.synthesize_at(black_box(&bits), plan, 71)))
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_stages
+}
+criterion_main!(benches);

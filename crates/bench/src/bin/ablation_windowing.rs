@@ -1,0 +1,78 @@
+//! Ablation (paper Sec 2.4): CP-pocket construction variants — the paper's
+//! split construction vs a geodesic-midpoint alternative we tried and
+//! rejected — and the effect of integer-subcarrier carrier snapping (this
+//! implementation's addition). Aggregate loopback BER over 8 payloads.
+//!
+//! Run: `cargo run --release -p bluefi-bench --bin ablation_windowing`
+
+use bluefi_bench::print_table;
+use bluefi_bt::ble::{adv_air_bits, AdvPdu, AdvPduType};
+use bluefi_core::cp::CpCompat;
+use bluefi_core::pipeline::BlueFi;
+use bluefi_core::verify::transmit;
+use bluefi_bt::receiver::{GfskReceiver, ReceiverConfig};
+use bluefi_wifi::channels::ChannelPlan;
+use bluefi_wifi::subcarriers::SUBCARRIER_SPACING_HZ;
+use bluefi_wifi::ChipModel;
+
+fn aggregate_ber(bf: &BlueFi, plan: ChannelPlan) -> (usize, usize) {
+    let rx = GfskReceiver::new(ReceiverConfig {
+        channel_offset_hz: plan.subcarrier * SUBCARRIER_SPACING_HZ,
+        ..Default::default()
+    });
+    let aa = bluefi_dsp::bits::u64_to_bits_lsb(bluefi_bt::ble::ADV_ACCESS_ADDRESS as u64, 32);
+    let (mut errs, mut total) = (0usize, 0usize);
+    for v in 0..8u8 {
+        let pdu = AdvPdu {
+            pdu_type: AdvPduType::AdvNonconnInd,
+            adv_address: [v, 2, 3, 4, 5, 6],
+            adv_data: (0..24).map(|i| (i * 3) ^ v).collect(),
+            tx_add: false,
+        };
+        let air = adv_air_bits(&pdu, 38);
+        let syn = bf.synthesize_at(&air, plan, 71);
+        let ppdu = transmit(&syn, &ChipModel::ar9331(), 18.0);
+        let demod = rx.demodulate(&ppdu.iq);
+        match rx.synchronize(&demod, &aa, air.len()) {
+            None => {
+                errs += 200;
+                total += 200;
+            }
+            Some(hit) => {
+                let truth = &air[40..];
+                let n = truth.len().min(hit.bits.len());
+                errs += (0..n).filter(|&i| truth[i] != hit.bits[i]).count();
+                total += n;
+            }
+        }
+    }
+    (errs, total)
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    for (name, cp, sc) in [
+        ("paper split, snapped sc 13", CpCompat::sgi(), 13.0),
+        ("paper split, fractional sc 12.8", CpCompat::sgi(), 12.8),
+        ("midpoint pockets, snapped sc 13", CpCompat::sgi_midpoint(), 13.0),
+        ("midpoint pockets, fractional 12.8", CpCompat::sgi_midpoint(), 12.8),
+    ] {
+        let bf = BlueFi { cp, ..Default::default() };
+        let (errs, total) = aggregate_ber(&bf, ChannelPlan::pinned(3, sc));
+        rows.push(vec![
+            name.to_string(),
+            format!("{errs}/{total}"),
+            format!("{:.2}%", 100.0 * errs as f64 / total as f64),
+        ]);
+    }
+    print_table(
+        "Ablation — CP pocket construction and carrier snapping (loopback BER, 8 payloads)",
+        &["variant", "bit errors", "BER"],
+        &rows,
+    );
+    println!("\nfindings: the paper's split construction beats midpoint pockets \
+              (short full-offset glitches cancel inside the channel filter better \
+              than long half-offset ones), and integer-subcarrier snapping \
+              (≤62.5 kHz, inside the ±75 kHz Bluetooth carrier tolerance) \
+              removes the carrier-phase component of the pocket offset.");
+}

@@ -1,0 +1,36 @@
+//! Figure 7c: BlueFi RSSI traces while the WiFi channel is saturated with
+//! background traffic (heavy co-channel interference bursts).
+//!
+//! Run: `cargo run --release -p bluefi-bench --bin fig7c_background [--duration 120]`
+
+use bluefi_bench::{arg_f64, print_table, summarize};
+use bluefi_sim::devices::DeviceModel;
+use bluefi_sim::experiments::{run_beacon_session, SessionConfig, TxKind};
+use bluefi_wifi::ChipModel;
+
+fn main() {
+    let duration = arg_f64("--duration", 120.0);
+    let mut rows = Vec::new();
+    for device in DeviceModel::all_phones() {
+        let mut cfg = SessionConfig::office(device.clone(), 1.5);
+        cfg.duration_s = duration;
+        // Saturated channel: almost every packet overlaps a strong burst.
+        cfg.channel.interference = Some((0.9, 20.0));
+        let kind = TxKind::BlueFi { chip: ChipModel::ar9331(), tx_dbm: 18.0 };
+        let trace = run_beacon_session(&kind, &cfg, 0x7C);
+        let rssi: Vec<f64> = trace.iter().map(|s| s.rssi_dbm).collect();
+        let received = trace.len();
+        rows.push(vec![
+            device.name.to_string(),
+            summarize(&rssi),
+            format!("{received}"),
+        ]);
+    }
+    print_table(
+        "Fig 7c — RSSI under saturated background WiFi traffic",
+        &["device", "rssi dBm", "reports"],
+        &rows,
+    );
+    println!("\npaper shape: all phones keep receiving; only small RSSI \
+              fluctuation; iPhone trace still truncates near 110 s.");
+}

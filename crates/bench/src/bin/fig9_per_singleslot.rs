@@ -1,0 +1,47 @@
+//! Figure 9: PER of single-slot packets across the Bluetooth channels
+//! under one WiFi channel, with FTS4BT-style CRC/Header/NoError buckets —
+//! channels adjacent to WiFi pilots suffer.
+//!
+//! Run: `cargo run --release -p bluefi-bench --bin fig9_per_singleslot
+//!       [--packets 60] [--distance 1.5]`
+
+use bluefi_apps::audio::{sniff_channel, AudioConfig};
+use bluefi_bench::{arg_f64, arg_usize, print_table};
+use bluefi_bt::br::PacketType;
+use bluefi_wifi::channels::{bt_channel_freq_hz, subcarrier_in_channel, distance_to_pilot_or_null};
+
+fn main() {
+    let n = arg_usize("--packets", 60);
+    let distance = arg_f64("--distance", 1.5);
+    let cfg = AudioConfig::default();
+    // The paper transmits on 10 channels within the WiFi channel; take the
+    // even-indexed usable channels (half the channels, as the paper notes).
+    let channels: Vec<u8> = bluefi_wifi::channels::usable_bt_channels_in_wifi(cfg.wifi_channel)
+        .into_iter()
+        .step_by(2)
+        .take(10)
+        .collect();
+    let mut rows = Vec::new();
+    for &ch in &channels {
+        let counts = sniff_channel(&cfg, ch, PacketType::Dm1, n, distance, 0xF9 + ch as u64);
+        let sc = subcarrier_in_channel(bt_channel_freq_hz(ch), cfg.wifi_channel);
+        rows.push(vec![
+            format!("{ch}"),
+            format!("{sc:+.1}"),
+            format!("{:.1}", distance_to_pilot_or_null(sc)),
+            format!("{}", counts.no_error),
+            format!("{}", counts.crc_error),
+            format!("{}", counts.header_error),
+            format!("{:.1}%", counts.per() * 100.0),
+        ]);
+    }
+    print_table(
+        "Fig 9 — single-slot PER by Bluetooth channel (WiFi channel 3)",
+        &["bt ch", "subcarrier", "pilot clearance", "no error", "crc err", "hdr err", "PER"],
+        &rows,
+    );
+    println!("\npaper shape: PER as low as 1.9% on clear channels; much higher \
+              adjacent to the pilots (±7, ±21) and the DC null.");
+    println!("note: DM1 (FEC-protected single-slot) packets — the simulated \
+              receiver's residual BER maps DM packets onto the paper's PER range.");
+}

@@ -1,0 +1,32 @@
+//! Table 1: the interleaver's coded-bit -> (subcarrier, bit) mapping and
+//! the Viterbi weight classes, regenerated from the implementation.
+//!
+//! Run: `cargo run --release -p bluefi-bench --bin table1_weights`
+
+use bluefi_bench::print_table;
+use bluefi_core::reversal::WeightProfile;
+use bluefi_wifi::{Interleaver, Modulation};
+
+fn main() {
+    let il = Interleaver::new(Modulation::Qam64);
+    let profile = WeightProfile::default();
+    // The paper's example: the Bluetooth spectrum on subcarriers 9..16.
+    let bt_center = 12.5;
+    let rows: Vec<Vec<String>> = (0..=12)
+        .map(|k| {
+            let (sc, bit) = il.mapped_location(k);
+            vec![
+                format!("{k}"),
+                format!("subcarrier {sc}, bit {bit}"),
+                format!("{}", profile.weight_at(sc, bt_center)),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table 1 — weight assignment for the modified Viterbi (BT on subcarriers 9..16)",
+        &["coded bit", "mapped location", "weight"],
+        &rows,
+    );
+    println!("\npaper: bit0 -> sc -28 b5 w1 ... bit8 -> sc 8 b4 w100, bit9 -> sc 12 b5 w1000,");
+    println!("       bit10 -> sc 16 b3 w1000, bit11 -> sc 20 b4 w100, bit12 -> sc 25 b5 w1.");
+}

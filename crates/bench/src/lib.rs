@@ -1,0 +1,77 @@
+//! # bluefi-bench
+//!
+//! One binary per table/figure of the paper's evaluation (see DESIGN.md's
+//! experiment index), plus criterion benches for the Sec 4.8 runtime table.
+//! Every binary prints the rows/series the paper reports; EXPERIMENTS.md
+//! records paper-vs-measured.
+
+#![warn(missing_docs)]
+
+use bluefi_dsp::power::{mean, median, percentile};
+
+/// Prints a simple aligned table.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for r in rows {
+        for (i, c) in r.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:w$}", c, w = widths.get(i).copied().unwrap_or(8)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    println!("{}", fmt_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>()));
+    for r in rows {
+        println!("{}", fmt_row(r));
+    }
+}
+
+/// Summary statistics string `mean/median [p10..p90]` for a series.
+pub fn summarize(series: &[f64]) -> String {
+    if series.is_empty() {
+        return "(no data)".into();
+    }
+    format!(
+        "{:6.1} / {:6.1}  [{:6.1} .. {:6.1}]  n={}",
+        mean(series),
+        median(series),
+        percentile(series, 10.0),
+        percentile(series, 90.0),
+        series.len()
+    )
+}
+
+/// Parses `--key value` style CLI overrides (tiny, no clap dependency).
+pub fn arg_f64(name: &str, default: f64) -> f64 {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Integer variant of [`arg_f64`].
+pub fn arg_usize(name: &str, default: usize) -> usize {
+    arg_f64(name, default as f64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summarize_formats() {
+        let s = summarize(&[1.0, 2.0, 3.0]);
+        assert!(s.contains("n=3"));
+        assert_eq!(summarize(&[]), "(no data)");
+    }
+}

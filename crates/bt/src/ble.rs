@@ -1,0 +1,237 @@
+//! BLE advertising-channel packets (Bluetooth Core Vol 6 Part B).
+//!
+//! Air format (LE 1M): 8-bit preamble, 32-bit access address
+//! (0x8E89BED6 on advertising channels), PDU (2-byte header + payload),
+//! 24-bit CRC. PDU and CRC are whitened with the channel index. Everything
+//! is LSB-first on the air.
+
+use bluefi_coding::crc::{crc24_bits, crc24_check, BLE_ADV_CRC_INIT};
+use bluefi_coding::lfsr::ble_whiten;
+use bluefi_dsp::bits::{bits_to_bytes_lsb, bytes_to_bits_lsb, u64_to_bits_lsb};
+
+/// The advertising-channel access address.
+pub const ADV_ACCESS_ADDRESS: u32 = 0x8E89BED6;
+
+/// Advertising PDU types (subset relevant to beacons).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdvPduType {
+    /// Connectable undirected advertising.
+    AdvInd,
+    /// Non-connectable undirected advertising (beacons).
+    AdvNonconnInd,
+    /// Scannable undirected advertising.
+    AdvScanInd,
+}
+
+impl AdvPduType {
+    fn code(self) -> u8 {
+        match self {
+            AdvPduType::AdvInd => 0x0,
+            AdvPduType::AdvNonconnInd => 0x2,
+            AdvPduType::AdvScanInd => 0x6,
+        }
+    }
+
+    fn from_code(code: u8) -> Option<AdvPduType> {
+        match code {
+            0x0 => Some(AdvPduType::AdvInd),
+            0x2 => Some(AdvPduType::AdvNonconnInd),
+            0x6 => Some(AdvPduType::AdvScanInd),
+            _ => None,
+        }
+    }
+}
+
+/// An advertising PDU before whitening/CRC.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdvPdu {
+    /// PDU type.
+    pub pdu_type: AdvPduType,
+    /// Advertiser address (6 bytes, little-endian on air).
+    pub adv_address: [u8; 6],
+    /// Advertising data (0..=31 bytes of AD structures).
+    pub adv_data: Vec<u8>,
+    /// TxAdd flag (random vs public address).
+    pub tx_add: bool,
+}
+
+impl AdvPdu {
+    /// Serializes the PDU to bytes (header + AdvA + AdvData).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        assert!(self.adv_data.len() <= 31, "AdvData is at most 31 bytes");
+        let mut out = Vec::with_capacity(2 + 6 + self.adv_data.len());
+        out.push(self.pdu_type.code() | ((self.tx_add as u8) << 6));
+        out.push((6 + self.adv_data.len()) as u8);
+        out.extend_from_slice(&self.adv_address);
+        out.extend_from_slice(&self.adv_data);
+        out
+    }
+
+    /// Parses PDU bytes.
+    pub fn from_bytes(bytes: &[u8]) -> Option<AdvPdu> {
+        if bytes.len() < 8 {
+            return None;
+        }
+        let pdu_type = AdvPduType::from_code(bytes[0] & 0x0F)?;
+        let tx_add = bytes[0] & 0x40 != 0;
+        let len = bytes[1] as usize;
+        if len < 6 || bytes.len() < 2 + len {
+            return None;
+        }
+        let mut adv_address = [0u8; 6];
+        adv_address.copy_from_slice(&bytes[2..8]);
+        Some(AdvPdu {
+            pdu_type,
+            adv_address,
+            adv_data: bytes[8..2 + len].to_vec(),
+            tx_add,
+        })
+    }
+}
+
+/// Assembles the on-air bit stream for an advertising PDU on RF channel
+/// `channel` (advertising channels are 37, 38, 39).
+///
+/// Layout: preamble (alternating bits matching the AA's first bit), access
+/// address LSB-first, whitened (PDU ‖ CRC24).
+pub fn adv_air_bits(pdu: &AdvPdu, channel: u8) -> Vec<bool> {
+    assert!((37..=39).contains(&channel), "advertising channel 37..=39");
+    let aa_bits = u64_to_bits_lsb(ADV_ACCESS_ADDRESS as u64, 32);
+    // Preamble: 01010101 or 10101010 such that it alternates into AA bit 0
+    // (bit 7 of the preamble must differ from AA bit 0).
+    let first = aa_bits[0];
+    let preamble: Vec<bool> = (0..8).map(|i| first ^ (i % 2 == 1)).collect();
+
+    let pdu_bits = bytes_to_bits_lsb(&pdu.to_bytes());
+    let crc = crc24_bits(BLE_ADV_CRC_INIT, &pdu_bits);
+    let mut body = pdu_bits;
+    body.extend(crc);
+    let whitened = ble_whiten(channel, &body);
+
+    let mut out = preamble;
+    out.extend(aa_bits);
+    out.extend(whitened);
+    out
+}
+
+/// Outcome of decoding a candidate advertising packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdvDecode {
+    /// Valid PDU with a passing CRC.
+    Ok(AdvPdu),
+    /// The CRC failed (counts as a packet error).
+    CrcError,
+    /// The header was malformed.
+    HeaderError,
+}
+
+/// Decodes the bit stream following the access address (whitened PDU+CRC).
+///
+/// `bits` must start at the first whitened bit and contain at least
+/// `2 + 6` PDU bytes plus 3 CRC bytes worth of bits.
+pub fn adv_decode(bits: &[bool], channel: u8) -> AdvDecode {
+    if bits.len() < (2 + 6 + 3) * 8 {
+        return AdvDecode::HeaderError;
+    }
+    let dewhitened = ble_whiten(channel, bits);
+    // Header first: length tells us where the CRC is.
+    let header = bits_to_bytes_lsb(&dewhitened[..16]);
+    let len = header[1] as usize;
+    if !(6..=37).contains(&len) {
+        return AdvDecode::HeaderError;
+    }
+    let pdu_bits_len = (2 + len) * 8;
+    if dewhitened.len() < pdu_bits_len + 24 {
+        return AdvDecode::HeaderError;
+    }
+    let pdu_bits = &dewhitened[..pdu_bits_len];
+    let crc_bits = &dewhitened[pdu_bits_len..pdu_bits_len + 24];
+    if !crc24_check(BLE_ADV_CRC_INIT, pdu_bits, crc_bits) {
+        return AdvDecode::CrcError;
+    }
+    match AdvPdu::from_bytes(&bits_to_bytes_lsb(pdu_bits)) {
+        Some(pdu) => AdvDecode::Ok(pdu),
+        None => AdvDecode::HeaderError,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn beacon() -> AdvPdu {
+        AdvPdu {
+            pdu_type: AdvPduType::AdvNonconnInd,
+            adv_address: [0x01, 0x02, 0x03, 0x04, 0x05, 0xC6],
+            adv_data: (0..30).collect(),
+            tx_add: true,
+        }
+    }
+
+    #[test]
+    fn pdu_roundtrip() {
+        let p = beacon();
+        assert_eq!(AdvPdu::from_bytes(&p.to_bytes()), Some(p.clone()));
+    }
+
+    #[test]
+    fn air_bits_layout() {
+        let p = beacon();
+        let bits = adv_air_bits(&p, 37);
+        // 8 preamble + 32 AA + (2+36)*8 PDU + 24 CRC.
+        assert_eq!(bits.len(), 8 + 32 + 38 * 8 + 24);
+        // Preamble alternates and continues into AA bit 0 (AA LSB = 0).
+        for w in bits[..9].windows(2) {
+            assert_ne!(w[0], w[1]);
+        }
+        // AA LSB-first: 0x8E89BED6 has LSB 0.
+        assert!(!bits[8]);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_every_adv_channel() {
+        let p = beacon();
+        for ch in 37..=39u8 {
+            let bits = adv_air_bits(&p, ch);
+            match adv_decode(&bits[40..], ch) {
+                AdvDecode::Ok(decoded) => assert_eq!(decoded, p, "channel {ch}"),
+                other => panic!("channel {ch}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn payload_bit_error_is_crc_error() {
+        let p = beacon();
+        let mut bits = adv_air_bits(&p, 38);
+        let n = bits.len();
+        bits[n - 40] = !bits[n - 40]; // inside the payload
+        assert_eq!(adv_decode(&bits[40..], 38), AdvDecode::CrcError);
+    }
+
+    #[test]
+    fn wrong_channel_dewhitening_fails() {
+        let p = beacon();
+        let bits = adv_air_bits(&p, 37);
+        assert_ne!(adv_decode(&bits[40..], 38), AdvDecode::Ok(p));
+    }
+
+    #[test]
+    fn length_field_bounds_are_enforced() {
+        // A dewhitened length of 5 (below AdvA) must be a header error.
+        let mut pdu_bytes = vec![0x02u8, 0x05];
+        pdu_bytes.extend([0u8; 20]);
+        let mut bits = bytes_to_bits_lsb(&pdu_bytes);
+        bits.extend(vec![false; 24]);
+        let whitened = ble_whiten(37, &bits);
+        assert_eq!(adv_decode(&whitened, 37), AdvDecode::HeaderError);
+    }
+
+    #[test]
+    fn max_adv_data_respected() {
+        let mut p = beacon();
+        p.adv_data = vec![0; 31];
+        let bits = adv_air_bits(&p, 39);
+        assert_eq!(adv_decode(&bits[40..], 39), AdvDecode::Ok(p));
+    }
+}

@@ -1,0 +1,138 @@
+//! The FHS (Frequency Hop Synchronization) packet — the special control
+//! packet a BR device answers inquiries and pages with (Vol 2 Part B 6.5.1.4).
+//!
+//! BlueFi-as-a-beacon is the headline app, but a WiFi AP that can *answer
+//! inquiry scans* is the BR-side equivalent: the FHS payload carries the
+//! responder's address parts, class of device and clock, everything a peer
+//! needs to page it. The payload is a fixed 144-bit field set protected by
+//! the rate-2/3 FEC and a CRC — i.e. exactly a DM-style single-slot payload
+//! that the existing BlueFi pipeline can transmit.
+
+use crate::br::{br_air_bits_raw, BrHeader, BtAddress, PacketType};
+use bluefi_dsp::bits::{bits_to_u64_lsb, u64_to_bits_lsb};
+
+/// Parsed FHS payload fields (the subset meaningful to discovery).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FhsPayload {
+    /// Responder's address.
+    pub addr: BtAddress,
+    /// Class of device (24 bits).
+    pub class_of_device: u32,
+    /// The LT_ADDR the responder assigns the paging device.
+    pub lt_addr: u8,
+    /// Native clock bits CLK₂₇…CLK₂ at transmission.
+    pub clk27_2: u32,
+    /// Page scan mode (3 bits).
+    pub page_scan_mode: u8,
+}
+
+impl FhsPayload {
+    /// Serializes to the 144-bit FHS field layout:
+    /// parity-placeholder(34) ‖ LAP(24) ‖ undefined(2) ‖ SR(2) ‖ SP(2) ‖
+    /// UAP(8) ‖ NAP(16) ‖ CoD(24) ‖ LT_ADDR(3) ‖ CLK(26) ‖ PSM(3).
+    pub fn to_bits(&self) -> Vec<bool> {
+        let mut bits = Vec::with_capacity(144);
+        // The first 34 bits of a real FHS carry the sync-word parity of the
+        // responder's access code; regenerate from the LAP.
+        let sw = bluefi_coding::bch::sync_word(self.addr.lap);
+        bits.extend(u64_to_bits_lsb(sw & ((1 << 34) - 1), 34));
+        bits.extend(u64_to_bits_lsb(self.addr.lap as u64, 24));
+        bits.extend(u64_to_bits_lsb(0b00, 2)); // undefined
+        bits.extend(u64_to_bits_lsb(0b01, 2)); // SR
+        bits.extend(u64_to_bits_lsb(0b00, 2)); // SP (reserved)
+        bits.extend(u64_to_bits_lsb(self.addr.uap as u64, 8));
+        bits.extend(u64_to_bits_lsb(self.addr.nap as u64, 16));
+        bits.extend(u64_to_bits_lsb(self.class_of_device as u64 & 0xFF_FFFF, 24));
+        bits.extend(u64_to_bits_lsb(self.lt_addr as u64 & 0x7, 3));
+        bits.extend(u64_to_bits_lsb(self.clk27_2 as u64 & 0x3FF_FFFF, 26));
+        bits.extend(u64_to_bits_lsb(self.page_scan_mode as u64 & 0x7, 3));
+        debug_assert_eq!(bits.len(), 144);
+        bits
+    }
+
+    /// Parses a 144-bit FHS field.
+    pub fn from_bits(bits: &[bool]) -> Option<FhsPayload> {
+        if bits.len() != 144 {
+            return None;
+        }
+        let take = |start: usize, width: usize| bits_to_u64_lsb(&bits[start..start + width]);
+        Some(FhsPayload {
+            addr: BtAddress {
+                lap: take(34, 24) as u32,
+                uap: take(64, 8) as u8,
+                nap: take(72, 16) as u16,
+            },
+            class_of_device: take(88, 24) as u32,
+            lt_addr: take(112, 3) as u8,
+            clk27_2: take(115, 26) as u32,
+            page_scan_mode: take(141, 3) as u8,
+        })
+    }
+
+    /// Builds the complete FHS air bits: 144-bit field ‖ CRC-16, whitened,
+    /// rate-2/3 FEC — 72 + 54 + 240 = 366 bits, exactly one slot.
+    pub fn air_bits(&self, clk6_1: u8) -> Vec<bool> {
+        let header = BrHeader {
+            lt_addr: 0, // FHS is sent before an LT_ADDR is active
+            ptype: PacketType::Dm1, // TYPE shares DM1's single-slot shape here
+            flow: true,
+            arqn: false,
+            seqn: false,
+        };
+        br_air_bits_raw(self.addr, &header, &self.to_bits(), clk6_1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fhs() -> FhsPayload {
+        FhsPayload {
+            addr: BtAddress { lap: 0x2A5F17, uap: 0x63, nap: 0xBEEF },
+            class_of_device: 0x5A020C, // smartphone
+            lt_addr: 1,
+            clk27_2: 0x123_4567,
+            page_scan_mode: 0,
+        }
+    }
+
+    #[test]
+    fn field_roundtrip() {
+        let f = fhs();
+        assert_eq!(FhsPayload::from_bits(&f.to_bits()), Some(f));
+    }
+
+    #[test]
+    fn parity_matches_the_access_code() {
+        let f = fhs();
+        let bits = f.to_bits();
+        let sw = bluefi_coding::bch::sync_word(f.addr.lap);
+        assert_eq!(bits_to_u64_lsb(&bits[..34]), sw & ((1 << 34) - 1));
+    }
+
+    #[test]
+    fn fhs_packet_survives_the_baseband() {
+        let f = fhs();
+        let bits = f.air_bits(0x15);
+        assert_eq!(bits.len(), 366, "FHS fills exactly one slot's budget");
+        let field = crate::br::br_decode_raw(&bits[72..], f.addr.uap, 0x15, 144)
+            .expect("header + CRC valid");
+        assert_eq!(FhsPayload::from_bits(&field), Some(f));
+    }
+
+    #[test]
+    fn corrupted_fhs_is_rejected() {
+        let f = fhs();
+        let mut bits = f.air_bits(0x15);
+        // Two errors in one FEC block defeat the (15,10) correction.
+        bits[130] = !bits[130];
+        bits[131] = !bits[131];
+        assert_eq!(crate::br::br_decode_raw(&bits[72..], f.addr.uap, 0x15, 144), None);
+    }
+
+    #[test]
+    fn bad_length_rejected() {
+        assert_eq!(FhsPayload::from_bits(&[false; 100]), None);
+    }
+}

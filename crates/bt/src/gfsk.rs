@@ -1,0 +1,181 @@
+//! GFSK modulation (Bluetooth BR basic rate, Vol 2 Part A 3.1).
+//!
+//! Bits are shaped with a Gaussian filter (BT = 0.5) and frequency-modulated
+//! with deviation `±f_d` (spec: modulation index 0.28–0.35, i.e.
+//! `f_d = h/2 · 1 Mb/s` ≈ 140–175 kHz; we default to 160 kHz, h = 0.32).
+//! At the 20 MHz WiFi sampling rate each 1 µs bit spans 20 samples — the
+//! ratio BlueFi's "one OFDM symbol ≈ 4 Bluetooth bits" bookkeeping comes
+//! from.
+
+use bluefi_dsp::gaussian::shape_bits;
+use bluefi_dsp::phase::{accumulate_frequency, add_frequency_offset, phase_to_iq};
+use bluefi_dsp::Cx;
+
+/// GFSK modulator parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct GfskParams {
+    /// Sample rate in Hz (20 MHz to match WiFi hardware).
+    pub sample_rate_hz: f64,
+    /// Symbol rate in Hz (1 MHz for BR/BLE-1M).
+    pub symbol_rate_hz: f64,
+    /// Frequency deviation in Hz (positive for bit 1).
+    pub deviation_hz: f64,
+    /// Gaussian bandwidth-time product.
+    pub bt: f64,
+    /// Zero-frequency guard bits prepended/appended (paper Sec 2.3:
+    /// "we insert 0's to the front and to the back of the frequency
+    /// signal since we observed such a pattern on commercial chips").
+    pub guard_bits: usize,
+}
+
+impl Default for GfskParams {
+    fn default() -> GfskParams {
+        GfskParams {
+            sample_rate_hz: 20e6,
+            symbol_rate_hz: 1e6,
+            deviation_hz: 160e3,
+            bt: 0.5,
+            guard_bits: 4,
+        }
+    }
+}
+
+impl GfskParams {
+    /// Samples per symbol (must divide evenly; 20 at the defaults).
+    pub fn sps(&self) -> usize {
+        let sps = self.sample_rate_hz / self.symbol_rate_hz;
+        assert!(
+            (sps - sps.round()).abs() < 1e-9 && sps >= 1.0,
+            "sample rate must be an integer multiple of the symbol rate"
+        );
+        sps as usize
+    }
+
+    /// Modulation index h = 2·f_d / symbol rate.
+    pub fn modulation_index(&self) -> f64 {
+        2.0 * self.deviation_hz / self.symbol_rate_hz
+    }
+}
+
+/// The instantaneous-frequency pulse train (cycles/sample) for a packet's
+/// bits, including guard bits of zero frequency on both ends.
+pub fn frequency_signal(bits: &[bool], p: &GfskParams) -> Vec<f64> {
+    let sps = p.sps();
+    let dev = p.deviation_hz / p.sample_rate_hz; // cycles/sample at full deviation
+    let shaped = shape_bits(bits, p.bt, sps, 3);
+    let guard = p.guard_bits * sps;
+    let mut out = vec![0.0; guard];
+    out.extend(shaped.iter().map(|&v| v * dev));
+    out.extend(std::iter::repeat_n(0.0, guard));
+    out
+}
+
+/// Full GFSK modulation: packet bits → phase signal (radians) at baseband,
+/// optionally offset by `center_offset_hz` (the Bluetooth channel's position
+/// relative to the WiFi channel center — paper Sec 2.3's "modulating
+/// operation", which must precede CP construction).
+pub fn modulate_phase(bits: &[bool], p: &GfskParams, center_offset_hz: f64) -> Vec<f64> {
+    let freq = frequency_signal(bits, p);
+    let mut phase = accumulate_frequency(&freq, 0.0);
+    if center_offset_hz != 0.0 {
+        add_frequency_offset(&mut phase, center_offset_hz / p.sample_rate_hz);
+    }
+    phase
+}
+
+/// GFSK modulation to a unit-envelope IQ waveform.
+pub fn modulate_iq(bits: &[bool], p: &GfskParams, center_offset_hz: f64) -> Vec<Cx> {
+    phase_to_iq(&modulate_phase(bits, p, center_offset_hz))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bluefi_dsp::phase::discriminate;
+
+    #[test]
+    fn defaults_are_bluetooth_br() {
+        let p = GfskParams::default();
+        assert_eq!(p.sps(), 20);
+        assert!((p.modulation_index() - 0.32).abs() < 1e-12);
+        assert!(
+            p.modulation_index() >= 0.28 && p.modulation_index() <= 0.35,
+            "spec range"
+        );
+    }
+
+    #[test]
+    fn waveform_length_includes_guards() {
+        let p = GfskParams::default();
+        let bits = vec![true; 10];
+        let iq = modulate_iq(&bits, &p, 0.0);
+        assert_eq!(iq.len(), (10 + 2 * p.guard_bits) * 20);
+    }
+
+    #[test]
+    fn envelope_is_constant() {
+        let p = GfskParams::default();
+        let bits: Vec<bool> = (0..32).map(|i| i % 3 != 0).collect();
+        for v in modulate_iq(&bits, &p, 1e6) {
+            assert!((v.abs() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn discriminator_recovers_bits() {
+        let p = GfskParams::default();
+        let bits: Vec<bool> = (0..64).map(|i| (i * 7) % 5 < 2).collect();
+        let iq = modulate_iq(&bits, &p, 0.0);
+        let f = discriminate(&iq);
+        let guard = p.guard_bits * 20;
+        for (i, &b) in bits.iter().enumerate() {
+            let center = guard + i * 20 + 10;
+            assert_eq!(f[center] > 0.0, b, "bit {i}");
+        }
+    }
+
+    #[test]
+    fn center_offset_shifts_spectrum() {
+        use bluefi_dsp::fft::fft;
+        let p = GfskParams::default();
+        let bits: Vec<bool> = (0..20).map(|i| i % 2 == 0).collect();
+        // Offset +4 MHz = subcarrier 12.8: spectral peak in the upper half.
+        let iq = modulate_iq(&bits, &p, 4e6);
+        let n = 512;
+        let spec = fft(&iq[..n]);
+        let peak_bin = spec
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.abs().total_cmp(&b.1.abs()))
+            .unwrap()
+            .0;
+        // 4 MHz / 20 MHz * 512 = 102.4.
+        assert!(
+            (90..=115).contains(&peak_bin),
+            "peak at bin {peak_bin}, expected ≈102"
+        );
+    }
+
+    #[test]
+    fn long_runs_hit_full_deviation() {
+        let p = GfskParams::default();
+        let bits = vec![true; 12];
+        let iq = modulate_iq(&bits, &p, 0.0);
+        let f = discriminate(&iq);
+        let mid = (p.guard_bits + 6) * 20;
+        let dev_cps = p.deviation_hz / p.sample_rate_hz;
+        assert!((f[mid] - dev_cps).abs() < dev_cps * 0.01);
+    }
+
+    #[test]
+    fn guard_bits_are_at_carrier_frequency() {
+        let p = GfskParams::default();
+        let bits = vec![true; 8];
+        let f = frequency_signal(&bits, &p);
+        // First couple of guard bits are ~zero frequency (the Gaussian tail
+        // of the first data bit bleeds into the last guard bit).
+        for &v in &f[..2 * 20] {
+            assert!(v.abs() < 1e-6, "{v}");
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Property-based tests for Bluetooth packet formats and hopping.
+
+use bluefi_bt::ble::{adv_air_bits, adv_decode, AdvDecode, AdvPdu, AdvPduType};
+use bluefi_bt::br::{br_air_bits, br_decode, BrDecode, BrHeader, BtAddress, PacketType};
+use bluefi_bt::gfsk::{modulate_iq, GfskParams};
+use bluefi_bt::hopping::{ChannelMap, HopSelector, SlotClock};
+use proptest::prelude::*;
+
+fn arb_ptype() -> impl Strategy<Value = PacketType> {
+    prop::sample::select(vec![
+        PacketType::Dm1,
+        PacketType::Dh1,
+        PacketType::Dm3,
+        PacketType::Dh3,
+        PacketType::Dm5,
+        PacketType::Dh5,
+    ])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn ble_adv_roundtrip(
+        addr in prop::array::uniform6(any::<u8>()),
+        data in prop::collection::vec(any::<u8>(), 0..=31),
+        ch in 37u8..=39,
+    ) {
+        let pdu = AdvPdu {
+            pdu_type: AdvPduType::AdvNonconnInd,
+            adv_address: addr,
+            adv_data: data,
+            tx_add: false,
+        };
+        let bits = adv_air_bits(&pdu, ch);
+        prop_assert_eq!(adv_decode(&bits[40..], ch), AdvDecode::Ok(pdu));
+    }
+
+    #[test]
+    fn br_roundtrip(
+        lap in 0u32..(1 << 24),
+        uap in any::<u8>(),
+        clk in 0u8..64,
+        ptype in arb_ptype(),
+        len_frac in 0.0f64..1.0,
+    ) {
+        let addr = BtAddress { lap, uap, nap: 0 };
+        let n = 1 + (len_frac * (ptype.max_payload() - 1) as f64) as usize;
+        let payload: Vec<u8> = (0..n).map(|i| (i * 31 + 7) as u8).collect();
+        let header = BrHeader { lt_addr: 1, ptype, flow: true, arqn: false, seqn: true };
+        let bits = br_air_bits(addr, &header, &payload, clk);
+        prop_assert!(bits.len() <= bluefi_bt::br::max_air_bits(ptype.slots()));
+        match br_decode(&bits[72..], uap, clk) {
+            BrDecode::Ok { header: h, payload: p } => {
+                prop_assert_eq!(h, header);
+                prop_assert_eq!(p, payload);
+            }
+            other => prop_assert!(false, "decode failed: {:?}", other),
+        }
+    }
+
+    #[test]
+    fn gfsk_is_constant_envelope(bits in prop::collection::vec(any::<bool>(), 1..64), off in -5e6f64..5e6) {
+        for v in modulate_iq(&bits, &GfskParams::default(), off) {
+            prop_assert!((v.abs() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn afh_always_lands_in_map(
+        lap in 0u32..(1 << 24),
+        channels in prop::collection::btree_set(0u8..79, 1..30),
+        slot in 0u32..100_000,
+    ) {
+        let map = ChannelMap::from_channels(channels.into_iter().collect());
+        let hop = HopSelector::new(lap, 0x42);
+        let ch = hop.channel(SlotClock::at_slot(slot).clk, &map);
+        prop_assert!(map.contains(ch));
+    }
+}

@@ -1,0 +1,181 @@
+//! Cyclic redundancy checks used by Bluetooth.
+//!
+//! All three are implemented on bit slices (LSB-first transmission order)
+//! with a shared bitwise engine, because packet assembly in this workspace
+//! happens at the bit level anyway.
+//!
+//! * **HEC-8** (BR packet header): `g(D) = D⁸+D⁷+D⁵+D²+D+1`, register
+//!   initialized with the UAP.
+//! * **CRC-16** (BR payload): CCITT `g(D) = D¹⁶+D¹²+D⁵+1`, register
+//!   initialized with the UAP in the upper octet.
+//! * **CRC-24** (BLE PDU): `g(D) = D²⁴+D¹⁰+D⁹+D⁶+D⁴+D³+D+1`
+//!   (0x00065B), init 0x555555 on advertising channels.
+
+/// Generic bitwise CRC over a bit stream.
+///
+/// `poly` excludes the top `x^width` term; bits are shifted in one at a
+/// time, MSB-of-register-first (the classic serial LFSR-with-input form).
+/// Returns the register value.
+fn crc_bits(poly: u32, width: u32, init: u32, bits: &[bool]) -> u32 {
+    let top = 1u32 << (width - 1);
+    let mask = if width == 32 { u32::MAX } else { (1u32 << width) - 1 };
+    let mut reg = init & mask;
+    for &b in bits {
+        let fb = ((reg & top) != 0) ^ b;
+        reg = (reg << 1) & mask;
+        if fb {
+            reg ^= poly & mask;
+        }
+    }
+    reg
+}
+
+/// Bluetooth BR header-error-check (8 bits).
+///
+/// `uap` initializes the register (spec Vol 2 Part B 7.1.1); `header_bits`
+/// are the 10 header fields bits (LT_ADDR, TYPE, FLOW, ARQN, SEQN).
+pub fn hec8(uap: u8, header_bits: &[bool]) -> u8 {
+    // g(D) = D^8 + D^7 + D^5 + D^2 + D + 1 -> 0b1010_0111 below x^8.
+    crc_bits(0b1010_0111, 8, uap as u32, header_bits) as u8
+}
+
+/// Verifies a header + appended HEC.
+pub fn hec8_check(uap: u8, header_bits: &[bool], hec_bits: &[bool]) -> bool {
+    assert_eq!(hec_bits.len(), 8);
+    let computed = hec8(uap, header_bits);
+    (0..8).all(|i| hec_bits[i] == ((computed >> (7 - i)) & 1 == 1))
+}
+
+/// Emits the 8 HEC bits in transmission order (MSB of register first,
+/// matching the serial LFSR readout).
+pub fn hec8_bits(uap: u8, header_bits: &[bool]) -> Vec<bool> {
+    let h = hec8(uap, header_bits);
+    (0..8).map(|i| (h >> (7 - i)) & 1 == 1).collect()
+}
+
+/// Bluetooth BR payload CRC-16 (CCITT polynomial, UAP-seeded).
+pub fn crc16(uap: u8, payload_bits: &[bool]) -> u16 {
+    crc_bits(0x1021, 16, (uap as u32) << 8, payload_bits) as u16
+}
+
+/// Emits the 16 CRC bits in transmission order.
+pub fn crc16_bits(uap: u8, payload_bits: &[bool]) -> Vec<bool> {
+    let c = crc16(uap, payload_bits);
+    (0..16).map(|i| (c >> (15 - i)) & 1 == 1).collect()
+}
+
+/// Verifies payload bits followed by a 16-bit CRC.
+pub fn crc16_check(uap: u8, payload_bits: &[bool], crc: &[bool]) -> bool {
+    assert_eq!(crc.len(), 16);
+    crc16_bits(uap, payload_bits) == crc
+}
+
+/// BLE CRC-24 over a PDU (advertising-channel init 0x555555).
+pub fn crc24(init: u32, pdu_bits: &[bool]) -> u32 {
+    crc_bits(0x00065B, 24, init, pdu_bits)
+}
+
+/// Default BLE advertising-channel CRC init value.
+pub const BLE_ADV_CRC_INIT: u32 = 0x555555;
+
+/// Emits the 24 CRC bits in BLE transmission order (the spec sends the CRC
+/// most-significant bit first).
+pub fn crc24_bits(init: u32, pdu_bits: &[bool]) -> Vec<bool> {
+    let c = crc24(init, pdu_bits);
+    (0..24).map(|i| (c >> (23 - i)) & 1 == 1).collect()
+}
+
+/// Verifies a PDU followed by its 24-bit CRC.
+pub fn crc24_check(init: u32, pdu_bits: &[bool], crc: &[bool]) -> bool {
+    assert_eq!(crc.len(), 24);
+    crc24_bits(init, pdu_bits) == crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bits(v: &[u8]) -> Vec<bool> {
+        bluefi_test_bits(v)
+    }
+
+    // Local LSB-first expansion (mirror of dsp::bits, kept standalone so the
+    // crate stays dependency-free).
+    fn bluefi_test_bits(v: &[u8]) -> Vec<bool> {
+        v.iter()
+            .flat_map(|&b| (0..8).map(move |i| (b >> i) & 1 == 1))
+            .collect()
+    }
+
+    #[test]
+    fn hec_detects_any_single_bit_error() {
+        let header = bits(&[0xA5, 0x01])[..10].to_vec();
+        let hec = hec8_bits(0x47, &header);
+        assert!(hec8_check(0x47, &header, &hec));
+        for i in 0..10 {
+            let mut h = header.clone();
+            h[i] = !h[i];
+            assert!(!hec8_check(0x47, &h, &hec), "missed flip at {i}");
+        }
+        for i in 0..8 {
+            let mut c = hec.clone();
+            c[i] = !c[i];
+            assert!(!hec8_check(0x47, &header, &c), "missed HEC flip at {i}");
+        }
+    }
+
+    #[test]
+    fn hec_depends_on_uap() {
+        let header = vec![true; 10];
+        assert_ne!(hec8(0x00, &header), hec8(0x47, &header));
+    }
+
+    #[test]
+    fn crc16_detects_burst_errors() {
+        let payload = bits(&[0xDE, 0xAD, 0xBE, 0xEF, 0x42]);
+        let crc = crc16_bits(0x12, &payload);
+        assert!(crc16_check(0x12, &payload, &crc));
+        // Any burst up to 16 bits is detected by a degree-16 CRC.
+        for start in 0..payload.len().saturating_sub(16) {
+            let mut p = payload.clone();
+            for b in p[start..start + 16].iter_mut() {
+                *b = !*b;
+            }
+            assert!(!crc16_check(0x12, &p, &crc), "missed burst at {start}");
+        }
+    }
+
+    #[test]
+    fn crc16_of_empty_is_init_run() {
+        // With no data the register just holds the init value.
+        assert_eq!(crc16(0xAB, &[]), 0xAB00);
+    }
+
+    #[test]
+    fn crc24_roundtrip_and_single_bit_detection() {
+        let pdu = bits(&[0x42, 0x10, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01]);
+        let crc = crc24_bits(BLE_ADV_CRC_INIT, &pdu);
+        assert!(crc24_check(BLE_ADV_CRC_INIT, &pdu, &crc));
+        for i in 0..pdu.len() {
+            let mut p = pdu.clone();
+            p[i] = !p[i];
+            assert!(!crc24_check(BLE_ADV_CRC_INIT, &p, &crc));
+        }
+    }
+
+    #[test]
+    fn crc24_is_linear_in_the_data() {
+        // CRC(a ^ b) with zero init == CRC(a, init=0) ^ CRC(b, init=0):
+        // the defining linearity of CRCs, a good catch-all for engine bugs.
+        let a = bits(&[0x13, 0x37, 0x00, 0xFF]);
+        let b = bits(&[0x9E, 0x8B, 0x33, 0x21]);
+        let ab: Vec<bool> = a.iter().zip(&b).map(|(x, y)| x ^ y).collect();
+        assert_eq!(crc24(0, &ab), crc24(0, &a) ^ crc24(0, &b));
+    }
+
+    #[test]
+    fn crc_widths_respect_mask() {
+        assert!(crc24(BLE_ADV_CRC_INIT, &bits(&[0xFF; 10])) < (1 << 24));
+        assert!(u32::from(crc16(0xFF, &bits(&[0xFF; 10]))) < (1 << 16));
+    }
+}

@@ -1,0 +1,32 @@
+//! # bluefi-coding
+//!
+//! Channel-coding substrate for the BlueFi workspace — every bit-level
+//! transform either standard applies, implemented from scratch:
+//!
+//! * [`lfsr`] — the 802.11 scrambler and Bluetooth whitening sequences
+//!   (all built on the shared `x⁷+x⁴+1` register).
+//! * [`convolutional`] — the 802.11 K=7 (133,171) mother code.
+//! * [`puncture`] — rate 1/2, 2/3, 3/4, 5/6 puncturing with erasure-aware
+//!   depuncturing.
+//! * [`viterbi`] — weighted hard-decision Viterbi decoding (BlueFi's
+//!   "important bits must not flip" reversal, paper Sec 2.7).
+//! * [`realtime`] — the O(T) exact-constraint decoder at rate 2/3 used for
+//!   real-time packet generation (paper Sec 2.7 / 4.8).
+//! * [`crc`] — Bluetooth HEC-8, CRC-16 and BLE CRC-24.
+//! * [`hamming`] — Bluetooth rate-2/3 (15,10) FEC and rate-1/3 repetition.
+//! * [`bch`] — the (64,30) sync-word code with the GIAC golden vector.
+
+#![warn(missing_docs)]
+
+pub mod bch;
+pub mod convolutional;
+pub mod crc;
+pub mod hamming;
+pub mod lfsr;
+pub mod puncture;
+pub mod realtime;
+pub mod viterbi;
+
+pub use convolutional::ConvEncoder;
+pub use puncture::CodeRate;
+pub use realtime::{FreeEdge, RealtimeDecoder};

@@ -1,0 +1,217 @@
+//! Puncturing patterns for the 802.11 BCC (17.3.5.6 / Fig 17-9..11).
+//!
+//! Higher code rates are obtained from the rate-1/2 mother code by skipping
+//! ("stealing") some output bits. Depuncturing re-inserts erasures at the
+//! stolen positions so a decoder can treat them as "no information".
+
+/// The four 802.11 code rates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CodeRate {
+    /// Rate 1/2 (no puncturing).
+    R12,
+    /// Rate 2/3 — per 2 input bits transmit A1 B1 A2 (steal B2).
+    R23,
+    /// Rate 3/4 — per 3 input bits transmit A1 B1 A2 B3 (steal B2, A3).
+    R34,
+    /// Rate 5/6 — per 5 input bits transmit A1 B1 A2 B3 A4 B5.
+    R56,
+}
+
+impl CodeRate {
+    /// (numerator, denominator) of the information rate.
+    pub fn ratio(self) -> (usize, usize) {
+        match self {
+            CodeRate::R12 => (1, 2),
+            CodeRate::R23 => (2, 3),
+            CodeRate::R34 => (3, 4),
+            CodeRate::R56 => (5, 6),
+        }
+    }
+
+    /// The puncturing pattern as (keep-A, keep-B) flags per input bit,
+    /// repeated cyclically over the input stream.
+    pub fn pattern(self) -> (&'static [bool], &'static [bool]) {
+        match self {
+            CodeRate::R12 => (&[true], &[true]),
+            CodeRate::R23 => (&[true, true], &[true, false]),
+            CodeRate::R34 => (&[true, true, false], &[true, false, true]),
+            CodeRate::R56 => (
+                &[true, true, false, true, false],
+                &[true, false, true, false, true],
+            ),
+        }
+    }
+
+    /// Input bits per puncturing period.
+    pub fn period_inputs(self) -> usize {
+        self.pattern().0.len()
+    }
+
+    /// Transmitted bits per puncturing period.
+    pub fn period_outputs(self) -> usize {
+        let (a, b) = self.pattern();
+        a.iter().filter(|&&k| k).count() + b.iter().filter(|&&k| k).count()
+    }
+
+    /// Number of transmitted (punctured) bits for `n_input` information
+    /// bits. `n_input` must be a multiple of the period.
+    pub fn n_transmitted(self, n_input: usize) -> usize {
+        let p = self.period_inputs();
+        assert_eq!(
+            n_input % p,
+            0,
+            "input length {n_input} not a multiple of the rate-{:?} period {p}",
+            self
+        );
+        n_input / p * self.period_outputs()
+    }
+
+    /// Number of information bits for `n_tx` transmitted bits.
+    pub fn n_inputs(self, n_tx: usize) -> usize {
+        let q = self.period_outputs();
+        assert_eq!(n_tx % q, 0, "transmitted length {n_tx} not a multiple of {q}");
+        n_tx / q * self.period_inputs()
+    }
+}
+
+/// Punctures an interleaved mother-code stream `[A0, B0, A1, B1, ...]`.
+pub fn puncture(rate: CodeRate, mother: &[bool]) -> Vec<bool> {
+    assert_eq!(mother.len() % 2, 0);
+    let (ka, kb) = rate.pattern();
+    let p = ka.len();
+    let mut out = Vec::with_capacity(mother.len() * rate.period_outputs() / (2 * p));
+    for (i, pair) in mother.chunks_exact(2).enumerate() {
+        let ph = i % p;
+        if ka[ph] {
+            out.push(pair[0]);
+        }
+        if kb[ph] {
+            out.push(pair[1]);
+        }
+    }
+    out
+}
+
+/// A received mother-stream symbol: a hard bit or an erasure (a punctured
+/// position carrying no information).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RxBit {
+    /// A transmitted bit with an attached weight (importance; see the
+    /// weighted Viterbi of the paper's Sec 2.7).
+    Bit {
+        /// Hard bit value.
+        value: bool,
+        /// Mismatch cost used by the Viterbi branch metric.
+        weight: u32,
+    },
+    /// A stolen (punctured) position: matches anything at zero cost.
+    Erasure,
+}
+
+/// Re-inserts erasures, expanding a punctured stream (optionally with
+/// per-transmitted-bit weights) back to mother-code positions
+/// `[A0, B0, A1, B1, ...]`.
+///
+/// `weights` must be `None` or the same length as `punctured`; missing
+/// weights default to 1.
+pub fn depuncture(rate: CodeRate, punctured: &[bool], weights: Option<&[u32]>) -> Vec<RxBit> {
+    if let Some(w) = weights {
+        assert_eq!(w.len(), punctured.len());
+    }
+    let (ka, kb) = rate.pattern();
+    let p = ka.len();
+    let n_in = rate.n_inputs(punctured.len());
+    let mut out = Vec::with_capacity(n_in * 2);
+    let mut src = 0usize;
+    let mut take = |keep: bool| -> RxBit {
+        if keep {
+            let v = punctured[src];
+            let w = weights.map_or(1, |w| w[src]);
+            src += 1;
+            RxBit::Bit { value: v, weight: w }
+        } else {
+            RxBit::Erasure
+        }
+    };
+    for i in 0..n_in {
+        let ph = i % p;
+        out.push(take(ka[ph]));
+        out.push(take(kb[ph]));
+    }
+    debug_assert_eq!(src, punctured.len());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convolutional::encode_r12;
+
+    #[test]
+    fn rate_arithmetic() {
+        assert_eq!(CodeRate::R12.n_transmitted(10), 20);
+        assert_eq!(CodeRate::R23.n_transmitted(10), 15);
+        assert_eq!(CodeRate::R34.n_transmitted(9), 12);
+        assert_eq!(CodeRate::R56.n_transmitted(10), 12);
+        assert_eq!(CodeRate::R56.n_inputs(12), 10);
+    }
+
+    #[test]
+    fn r23_steals_every_second_b() {
+        // mother: A0 B0 A1 B1 A2 B2 A3 B3 -> keep A0 B0 A1 / A2 B2 A3.
+        let mother: Vec<bool> = vec![
+            true, false, // A0 B0
+            true, true, // A1 B1 (B1 stolen)
+            false, true, // A2 B2
+            false, false, // A3 B3 (B3 stolen)
+        ];
+        assert_eq!(
+            puncture(CodeRate::R23, &mother),
+            vec![true, false, true, false, true, false]
+        );
+    }
+
+    #[test]
+    fn depuncture_restores_positions() {
+        // 30 is a common multiple of every puncturing period (1, 2, 3, 5).
+        let data: Vec<bool> = (0..30).map(|i| i % 3 == 0).collect();
+        let mother = encode_r12(&data);
+        for rate in [CodeRate::R12, CodeRate::R23, CodeRate::R34, CodeRate::R56] {
+            let tx = puncture(rate, &mother);
+            assert_eq!(tx.len(), rate.n_transmitted(data.len()));
+            let rx = depuncture(rate, &tx, None);
+            assert_eq!(rx.len(), mother.len());
+            // Every non-erasure position must match the mother stream.
+            let mut erasures = 0;
+            for (i, r) in rx.iter().enumerate() {
+                match r {
+                    RxBit::Bit { value, .. } => assert_eq!(*value, mother[i], "pos {i}"),
+                    RxBit::Erasure => erasures += 1,
+                }
+            }
+            assert_eq!(erasures, mother.len() - tx.len());
+        }
+    }
+
+    #[test]
+    fn weights_ride_along() {
+        let data = vec![true, false, true, true, false, true, false, false, true, true];
+        let tx = puncture(CodeRate::R56, &encode_r12(&data));
+        let weights: Vec<u32> = (0..tx.len() as u32).collect();
+        let rx = depuncture(CodeRate::R56, &tx, Some(&weights));
+        let seen: Vec<u32> = rx
+            .iter()
+            .filter_map(|r| match r {
+                RxBit::Bit { weight, .. } => Some(*weight),
+                RxBit::Erasure => None,
+            })
+            .collect();
+        assert_eq!(seen, weights);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn bad_length_panics() {
+        CodeRate::R56.n_transmitted(7);
+    }
+}

@@ -1,0 +1,259 @@
+//! Weighted hard-decision Viterbi decoding of the 802.11 BCC.
+//!
+//! Two departures from a textbook decoder, both required by BlueFi
+//! (paper Sec 2.7):
+//!
+//! 1. **Erasure support** — punctured positions carry no information and
+//!    contribute zero branch metric.
+//! 2. **Per-bit weights** — BlueFi is not decoding a noisy channel; it is
+//!    *compressing* a target sequence. Bits destined for subcarriers inside
+//!    the Bluetooth band must survive re-encoding, so their mismatch cost is
+//!    raised (1000/100/1 in the paper's Table 1) and the survivor path
+//!    avoids flipping them unless no codeword exists that preserves them.
+//!
+//! The decoder is a pseudo-polynomial dynamic program, O(T·2⁶) — this is
+//! the stage the paper measures at 46.88 ms/packet in C and the reason the
+//! real-time decoder ([`crate::realtime`]) exists.
+
+use crate::convolutional::{transition_next, transition_output, NUM_STATES};
+use crate::puncture::RxBit;
+
+/// Decodes a (depunctured) mother-code stream back to information bits.
+///
+/// `rx` is the mother-position stream `[A0, B0, A1, B1, ...]` as produced by
+/// [`crate::puncture::depuncture`]; its length must be even. The decoder
+/// starts from state 0 (802.11 convention). When `terminate` is true the
+/// survivor must end in state 0 (use when the stream includes tail bits);
+/// otherwise the best final state wins.
+///
+/// Returns the decoded information bits (one per RX pair).
+pub fn decode(rx: &[RxBit], terminate: bool) -> Vec<bool> {
+    assert_eq!(rx.len() % 2, 0, "mother stream must be (A,B) pairs");
+    let steps = rx.len() / 2;
+    if steps == 0 {
+        return Vec::new();
+    }
+
+    const INF: u64 = u64::MAX / 4;
+    let mut metric = vec![INF; NUM_STATES];
+    metric[0] = 0;
+    let mut next_metric = vec![INF; NUM_STATES];
+    // survivor[t][s] = input bit leading into state s at step t+1, plus the
+    // predecessor is recomputable from s and that bit? No: two predecessors
+    // map into s; we store the chosen predecessor state directly.
+    let mut surv_prev: Vec<[u8; NUM_STATES]> = Vec::with_capacity(steps);
+
+    // Precompute per-state transition tables once.
+    let mut table = [[(0u8, false, false); 2]; NUM_STATES];
+    for (s, row) in table.iter_mut().enumerate() {
+        for (i, slot) in row.iter_mut().enumerate() {
+            let input = i == 1;
+            let (a, b) = transition_output(s as u8, input);
+            *slot = (transition_next(s as u8, input), a, b);
+        }
+    }
+
+    let cost = |r: RxBit, out: bool| -> u64 {
+        match r {
+            RxBit::Erasure => 0,
+            RxBit::Bit { value, weight } => {
+                if value == out {
+                    0
+                } else {
+                    weight as u64
+                }
+            }
+        }
+    };
+
+    for t in 0..steps {
+        let ra = rx[2 * t];
+        let rb = rx[2 * t + 1];
+        next_metric.iter_mut().for_each(|m| *m = INF);
+        let mut prev_of = [0u8; NUM_STATES];
+        for s in 0..NUM_STATES {
+            let m = metric[s];
+            if m >= INF {
+                continue;
+            }
+            for &(ns, a, b) in &table[s] {
+                let nm = m + cost(ra, a) + cost(rb, b);
+                if nm < next_metric[ns as usize] {
+                    next_metric[ns as usize] = nm;
+                    prev_of[ns as usize] = s as u8;
+                }
+            }
+        }
+        surv_prev.push(prev_of);
+        std::mem::swap(&mut metric, &mut next_metric);
+    }
+
+    // Pick the final state.
+    let mut state = if terminate {
+        0usize
+    } else {
+        metric
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &m)| m)
+            .map(|(s, _)| s)
+            .unwrap()
+    };
+
+    // Trace back. The input bit that led into `state` is its bit 5 (the
+    // most-recent-input slot of the state register).
+    let mut bits = vec![false; steps];
+    for t in (0..steps).rev() {
+        bits[t] = (state >> 5) & 1 == 1;
+        state = surv_prev[t][state] as usize;
+    }
+    bits
+}
+
+/// Convenience wrapper: decode a punctured stream at `rate` with optional
+/// per-transmitted-bit weights.
+pub fn decode_punctured(
+    rate: crate::puncture::CodeRate,
+    punctured: &[bool],
+    weights: Option<&[u32]>,
+    terminate: bool,
+) -> Vec<bool> {
+    let rx = crate::puncture::depuncture(rate, punctured, weights);
+    decode(&rx, terminate)
+}
+
+/// Re-encodes `decoded` and reports which transmitted positions of the
+/// original punctured target differ ("bit-flips" in the paper's language).
+pub fn reencode_flips(
+    rate: crate::puncture::CodeRate,
+    decoded: &[bool],
+    target_punctured: &[bool],
+) -> Vec<usize> {
+    let re = crate::puncture::puncture(rate, &crate::convolutional::encode_r12(decoded));
+    assert_eq!(re.len(), target_punctured.len());
+    re.iter()
+        .zip(target_punctured)
+        .enumerate()
+        .filter_map(|(i, (a, b))| if a != b { Some(i) } else { None })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convolutional::encode_r12;
+    use crate::puncture::{puncture, CodeRate};
+
+    fn pattern_bits(n: usize, k: u64) -> Vec<bool> {
+        (0..n).map(|i| (i as u64 * k + k / 3) % 7 < 3).collect()
+    }
+
+    #[test]
+    fn decodes_clean_stream_every_rate() {
+        let data = pattern_bits(60, 11);
+        for rate in [CodeRate::R12, CodeRate::R23, CodeRate::R34, CodeRate::R56] {
+            let tx = puncture(rate, &encode_r12(&data));
+            let dec = decode_punctured(rate, &tx, None, false);
+            assert_eq!(dec, data, "rate {rate:?}");
+        }
+    }
+
+    #[test]
+    fn corrects_scattered_errors_at_rate_half() {
+        let mut data = pattern_bits(120, 5);
+        data.extend([false; 6]); // tail
+        let mut tx = puncture(CodeRate::R12, &encode_r12(&data));
+        // Flip well-separated bits (beyond one constraint length apart).
+        for &i in &[10usize, 60, 110, 170, 230] {
+            tx[i] = !tx[i];
+        }
+        let dec = decode_punctured(CodeRate::R12, &tx, None, true);
+        assert_eq!(dec, data);
+    }
+
+    #[test]
+    fn termination_forces_zero_state() {
+        let mut data = pattern_bits(40, 3);
+        data.extend([false; 6]);
+        let tx = puncture(CodeRate::R12, &encode_r12(&data));
+        let dec = decode_punctured(CodeRate::R12, &tx, None, true);
+        assert_eq!(dec, data);
+        assert!(dec[dec.len() - 6..].iter().all(|&b| !b));
+    }
+
+    #[test]
+    fn weights_steer_flips_away_from_protected_bits() {
+        // BlueFi's protected set is interleaver-striped: within every 13-bit
+        // cycle the positions mapped to the Bluetooth band are protected.
+        // Stripes keep the local protected density (8/13) below the
+        // information rate (5/6), so a codeword matching every protected bit
+        // exists and the weighted decoder must find one. (A *contiguous*
+        // protected run denser than 5/6 would be information-theoretically
+        // unprotectable — see the realtime module's DOF argument.)
+        let target = pattern_bits(13 * 30, 17); // almost surely not a codeword
+        let rate = CodeRate::R56;
+        let n = target.len() - target.len() % rate.period_outputs();
+        let target = &target[..n];
+        let protected = |i: usize| i % 13 >= 5;
+        let weights: Vec<u32> = (0..n).map(|i| if protected(i) { 1000 } else { 1 }).collect();
+        let dec = decode_punctured(rate, target, Some(&weights), false);
+        let flips = reencode_flips(rate, &dec, target);
+        assert!(
+            !flips.is_empty(),
+            "a random target should not be exactly encodable at rate 5/6"
+        );
+        for &f in &flips {
+            assert!(!protected(f), "protected bit {f} flipped (flips: {flips:?})");
+        }
+    }
+
+    #[test]
+    fn graded_weights_prefer_flipping_cheap_bits() {
+        // Two-tier weights (the paper's 1000/100/1 scheme): when a flip is
+        // unavoidable it must land on the cheapest tier available.
+        let target = pattern_bits(13 * 30, 23);
+        let rate = CodeRate::R56;
+        let n = target.len() - target.len() % rate.period_outputs();
+        let target = &target[..n];
+        // Tier: 1000 for positions 5.., 100 for 3..5, 1 for 0..3 per cycle.
+        let weight_of = |i: usize| match i % 13 {
+            0..=2 => 1u32,
+            3..=4 => 100,
+            _ => 1000,
+        };
+        let weights: Vec<u32> = (0..n).map(weight_of).collect();
+        let dec = decode_punctured(rate, target, Some(&weights), false);
+        let flips = reencode_flips(rate, &dec, target);
+        assert!(!flips.is_empty());
+        let cost: u64 = flips.iter().map(|&f| weight_of(f) as u64).sum();
+        // Never pay a 1000-weight flip, and the total cost should be
+        // dominated by weight-1 positions.
+        assert!(flips.iter().all(|&f| weight_of(f) < 1000), "flips: {flips:?}");
+        assert!(cost < 1000, "cost {cost} flips {flips:?}");
+    }
+
+    #[test]
+    fn unweighted_decode_minimizes_total_flips_vs_greedy_reference() {
+        // The Viterbi result must be at least as good as decoding the
+        // punctured stream by simple re-quantization through a few random
+        // codewords. We check optimality indirectly: re-encoding the decode
+        // of a codeword-with-k-flips differs from the target in at most 2k
+        // positions (triangle inequality via the true codeword).
+        let mut data = pattern_bits(80, 7);
+        data.extend([false; 6]);
+        let rate = CodeRate::R23;
+        let clean = puncture(rate, &encode_r12(&data));
+        let mut tx = clean.clone();
+        for &i in &[5usize, 40, 80] {
+            tx[i] = !tx[i];
+        }
+        let dec = decode_punctured(rate, &tx, None, true);
+        let flips = reencode_flips(rate, &dec, &tx);
+        assert!(flips.len() <= 6, "got {} flips", flips.len());
+    }
+
+    #[test]
+    fn empty_input_decodes_to_empty() {
+        assert!(decode(&[], false).is_empty());
+    }
+}

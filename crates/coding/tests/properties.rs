@@ -1,0 +1,164 @@
+//! Property-based tests for every invariant the coding substrate promises.
+
+use bluefi_coding::bch::{check_sync_word, sync_word};
+use bluefi_coding::convolutional::encode_r12;
+use bluefi_coding::crc::{crc16_bits, crc16_check, crc24_bits, crc24_check, BLE_ADV_CRC_INIT};
+use bluefi_coding::hamming::{decode15_10, decode_r13, encode15_10, encode_r13, BlockStatus};
+use bluefi_coding::lfsr::{ble_whiten, recover_seed, scramble};
+use bluefi_coding::puncture::{depuncture, puncture, CodeRate, RxBit};
+use bluefi_coding::realtime::{protected_mask, RealtimePlan};
+use bluefi_coding::viterbi::{decode_punctured, reencode_flips};
+use bluefi_coding::FreeEdge;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn scramble_is_involution(seed in 1u8..128, bits in prop::collection::vec(any::<bool>(), 0..300)) {
+        prop_assert_eq!(scramble(seed, &scramble(seed, &bits)), bits);
+    }
+
+    #[test]
+    fn scrambler_seed_recovery(seed in 1u8..128) {
+        let scrambled = scramble(seed, &vec![false; 16]);
+        prop_assert_eq!(recover_seed(&scrambled), Some(seed));
+    }
+
+    #[test]
+    fn ble_whitening_involution(ch in 0u8..40, bits in prop::collection::vec(any::<bool>(), 0..200)) {
+        prop_assert_eq!(ble_whiten(ch, &ble_whiten(ch, &bits)), bits);
+    }
+
+    #[test]
+    fn convolutional_code_is_linear(
+        a in prop::collection::vec(any::<bool>(), 30),
+        b in prop::collection::vec(any::<bool>(), 30),
+    ) {
+        let sum: Vec<bool> = a.iter().zip(&b).map(|(x, y)| x ^ y).collect();
+        let ea = encode_r12(&a);
+        let eb = encode_r12(&b);
+        let esum = encode_r12(&sum);
+        let xor: Vec<bool> = ea.iter().zip(&eb).map(|(x, y)| x ^ y).collect();
+        prop_assert_eq!(esum, xor);
+    }
+
+    #[test]
+    fn viterbi_inverts_noiseless_encoding(
+        data in prop::collection::vec(any::<bool>(), 30),
+        rate_idx in 0usize..4,
+    ) {
+        let rate = [CodeRate::R12, CodeRate::R23, CodeRate::R34, CodeRate::R56][rate_idx];
+        let tx = puncture(rate, &encode_r12(&data));
+        let dec = decode_punctured(rate, &tx, None, false);
+        prop_assert_eq!(dec, data);
+    }
+
+    #[test]
+    fn depuncture_preserves_transmitted_bits(
+        data in prop::collection::vec(any::<bool>(), 30),
+        rate_idx in 0usize..4,
+    ) {
+        let rate = [CodeRate::R12, CodeRate::R23, CodeRate::R34, CodeRate::R56][rate_idx];
+        let mother = encode_r12(&data);
+        let tx = puncture(rate, &mother);
+        let rx = depuncture(rate, &tx, None);
+        let survived: Vec<bool> = rx
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| match r {
+                RxBit::Bit { value, .. } => Some(*value == mother[i]),
+                RxBit::Erasure => None,
+            })
+            .collect();
+        prop_assert!(survived.iter().all(|&ok| ok));
+        prop_assert_eq!(survived.len(), tx.len());
+    }
+
+    #[test]
+    fn realtime_plan_never_flips_protected(
+        target in prop::collection::vec(any::<bool>(), 39 * 4..=39 * 4),
+        front in any::<bool>(),
+    ) {
+        let edge = if front { FreeEdge::Front } else { FreeEdge::Back };
+        let plan = RealtimePlan::new(target.len(), edge);
+        let out = plan.decode(&target);
+        let mask = protected_mask(target.len(), edge);
+        for &f in &out.flips {
+            prop_assert!(!mask[f], "protected bit {} flipped", f);
+        }
+        // The paper's guarantee: at most 1/3 of bits flip.
+        prop_assert!(out.flips.len() * 3 <= target.len());
+    }
+
+    #[test]
+    fn weighted_viterbi_respects_infinite_weight_stripes(
+        data in prop::collection::vec(any::<bool>(), 60),
+    ) {
+        // Random target (not a codeword): protect positions i % 13 >= 6.
+        let rate = CodeRate::R56;
+        let n = data.len() * 6 / 5 - (data.len() * 6 / 5) % rate.period_outputs();
+        let target: Vec<bool> = (0..n).map(|i| data[i % data.len()] ^ (i % 7 == 3)).collect();
+        let weights: Vec<u32> = (0..n).map(|i| if i % 13 >= 6 { 1000 } else { 1 }).collect();
+        let dec = decode_punctured(rate, &target, Some(&weights), false);
+        for f in reencode_flips(rate, &dec, &target) {
+            prop_assert!(f % 13 < 6, "protected stripe bit {} flipped", f);
+        }
+    }
+
+    #[test]
+    fn crc16_detects_any_single_flip(
+        uap in any::<u8>(),
+        payload in prop::collection::vec(any::<bool>(), 1..120),
+        flip in any::<prop::sample::Index>(),
+    ) {
+        let crc = crc16_bits(uap, &payload);
+        let mut bad = payload.clone();
+        let i = flip.index(bad.len());
+        bad[i] = !bad[i];
+        prop_assert!(crc16_check(uap, &payload, &crc));
+        prop_assert!(!crc16_check(uap, &bad, &crc));
+    }
+
+    #[test]
+    fn crc24_detects_any_single_flip(
+        pdu in prop::collection::vec(any::<bool>(), 1..200),
+        flip in any::<prop::sample::Index>(),
+    ) {
+        let crc = crc24_bits(BLE_ADV_CRC_INIT, &pdu);
+        let mut bad = pdu.clone();
+        let i = flip.index(bad.len());
+        bad[i] = !bad[i];
+        prop_assert!(crc24_check(BLE_ADV_CRC_INIT, &pdu, &crc));
+        prop_assert!(!crc24_check(BLE_ADV_CRC_INIT, &bad, &crc));
+    }
+
+    #[test]
+    fn hamming_corrects_every_single_error(
+        data in prop::collection::vec(any::<bool>(), 10),
+        pos in 0usize..15,
+    ) {
+        let mut cw = encode15_10(&data);
+        cw[pos] = !cw[pos];
+        let (dec, status) = decode15_10(&cw);
+        prop_assert_eq!(status, BlockStatus::Corrected);
+        prop_assert_eq!(dec, data);
+    }
+
+    #[test]
+    fn repetition_majority_beats_one_error_per_triplet(
+        data in prop::collection::vec(any::<bool>(), 1..40),
+        which in prop::collection::vec(0usize..3, 1..40),
+    ) {
+        let mut enc = encode_r13(&data);
+        for (t, &w) in which.iter().enumerate().take(data.len()) {
+            enc[t * 3 + w] = !enc[t * 3 + w];
+        }
+        prop_assert_eq!(decode_r13(&enc), data);
+    }
+
+    #[test]
+    fn sync_words_roundtrip_and_reject_corruption(lap in 0u32..(1 << 24), bit in 0u32..64) {
+        let sw = sync_word(lap);
+        prop_assert_eq!(check_sync_word(sw), Some(lap));
+        prop_assert_eq!(check_sync_word(sw ^ (1u64 << bit)), None);
+    }
+}

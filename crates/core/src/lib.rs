@@ -1,0 +1,31 @@
+//! # bluefi-core
+//!
+//! The BlueFi synthesis pipeline — the paper's primary contribution.
+//! Given a Bluetooth packet's GFSK bits and a target frequency, produce an
+//! 802.11n PSDU such that an *unmodified* WiFi transmit chain emits a
+//! waveform ordinary Bluetooth receivers decode:
+//!
+//! * [`cp`] — CP/windowing-compatible phase construction (Sec 2.4).
+//! * [`qam`] — least-squares constellation quantization (Sec 2.5).
+//! * [`reversal`] — demap, deinterleave, weighted-Viterbi / real-time FEC
+//!   reversal, descrambling (Secs 2.7–2.8).
+//! * [`pipeline`] — the end-to-end synthesizer with frequency planning
+//!   (Sec 2.6).
+//! * [`stages`] — cumulative impairment staging for the Sec 4.6 study.
+//! * [`verify`] — forward loopback through the real TX chain and a COTS
+//!   Bluetooth receiver model.
+
+#![warn(missing_docs)]
+
+pub mod cp;
+pub mod pipeline;
+pub mod qam;
+pub mod reversal;
+pub mod stages;
+pub mod verify;
+
+pub use cp::CpCompat;
+pub use pipeline::{BlueFi, Synthesis};
+pub use qam::{Quantizer, ScaleMode};
+pub use reversal::{DecodeStrategy, WeightProfile};
+pub use stages::Stage;

@@ -1,0 +1,127 @@
+//! Bit/byte packing helpers.
+//!
+//! Both standards involved here are LSB-first on the air (802.11 serializes
+//! each octet least-significant bit first; Bluetooth likewise transmits LSB
+//! first), so the canonical conversion in this workspace is LSB-first. The
+//! MSB-first variants exist for sync words and CRC presentation order.
+
+/// Unpacks bytes into bits, least-significant bit of each byte first
+/// (the over-the-air order for both 802.11 and Bluetooth).
+pub fn bytes_to_bits_lsb(bytes: &[u8]) -> Vec<bool> {
+    let mut out = Vec::with_capacity(bytes.len() * 8);
+    for &b in bytes {
+        for i in 0..8 {
+            out.push((b >> i) & 1 == 1);
+        }
+    }
+    out
+}
+
+/// Packs bits into bytes, LSB-first; the final partial byte (if any) is
+/// zero-padded in its high bits.
+pub fn bits_to_bytes_lsb(bits: &[bool]) -> Vec<u8> {
+    let mut out = vec![0u8; bits.len().div_ceil(8)];
+    for (i, &b) in bits.iter().enumerate() {
+        if b {
+            out[i / 8] |= 1 << (i % 8);
+        }
+    }
+    out
+}
+
+/// Unpacks bytes into bits, most-significant bit first.
+pub fn bytes_to_bits_msb(bytes: &[u8]) -> Vec<bool> {
+    let mut out = Vec::with_capacity(bytes.len() * 8);
+    for &b in bytes {
+        for i in (0..8).rev() {
+            out.push((b >> i) & 1 == 1);
+        }
+    }
+    out
+}
+
+/// Packs bits into bytes, MSB-first.
+pub fn bits_to_bytes_msb(bits: &[bool]) -> Vec<u8> {
+    let mut out = vec![0u8; bits.len().div_ceil(8)];
+    for (i, &b) in bits.iter().enumerate() {
+        if b {
+            out[i / 8] |= 1 << (7 - i % 8);
+        }
+    }
+    out
+}
+
+/// Extracts `width` bits of `value` as a bit vector, LSB first.
+pub fn u64_to_bits_lsb(value: u64, width: usize) -> Vec<bool> {
+    assert!(width <= 64);
+    (0..width).map(|i| (value >> i) & 1 == 1).collect()
+}
+
+/// Packs up to 64 LSB-first bits back into an integer.
+pub fn bits_to_u64_lsb(bits: &[bool]) -> u64 {
+    assert!(bits.len() <= 64);
+    bits.iter()
+        .enumerate()
+        .fold(0u64, |acc, (i, &b)| acc | ((b as u64) << i))
+}
+
+/// Hamming distance between two equal-length bit slices.
+pub fn hamming(a: &[bool], b: &[bool]) -> usize {
+    assert_eq!(a.len(), b.len());
+    a.iter().zip(b).filter(|(x, y)| x != y).count()
+}
+
+/// XOR of two equal-length bit slices.
+pub fn xor(a: &[bool], b: &[bool]) -> Vec<bool> {
+    assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x ^ y).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lsb_roundtrip() {
+        let bytes = [0x0Fu8, 0xA5, 0x00, 0xFF, 0x3C];
+        assert_eq!(bits_to_bytes_lsb(&bytes_to_bits_lsb(&bytes)), bytes);
+    }
+
+    #[test]
+    fn msb_roundtrip() {
+        let bytes = [0x0Fu8, 0xA5, 0x00, 0xFF, 0x3C];
+        assert_eq!(bits_to_bytes_msb(&bytes_to_bits_msb(&bytes)), bytes);
+    }
+
+    #[test]
+    fn lsb_order_is_lsb_first() {
+        let bits = bytes_to_bits_lsb(&[0b0000_0001]);
+        assert!(bits[0]);
+        assert!(!bits[7]);
+        let bits = bytes_to_bits_msb(&[0b0000_0001]);
+        assert!(!bits[0]);
+        assert!(bits[7]);
+    }
+
+    #[test]
+    fn u64_roundtrip() {
+        for v in [0u64, 1, 0xDEADBEEF, u64::MAX] {
+            assert_eq!(bits_to_u64_lsb(&u64_to_bits_lsb(v, 64)), v);
+        }
+        assert_eq!(bits_to_u64_lsb(&u64_to_bits_lsb(0b1011, 4)), 0b1011);
+    }
+
+    #[test]
+    fn hamming_and_xor() {
+        let a = [true, false, true, true];
+        let b = [true, true, false, true];
+        assert_eq!(hamming(&a, &b), 2);
+        assert_eq!(xor(&a, &b), vec![false, true, true, false]);
+    }
+
+    #[test]
+    fn partial_byte_is_zero_padded() {
+        let bits = [true, false, true]; // 0b101 LSB-first = 0x05
+        assert_eq!(bits_to_bytes_lsb(&bits), vec![0x05]);
+    }
+}

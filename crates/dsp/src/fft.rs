@@ -1,0 +1,256 @@
+//! Fast Fourier transforms, implemented from scratch.
+//!
+//! 802.11n OFDM works on 64-point blocks, so the hot path is a radix-2
+//! iterative Cooley–Tukey transform with precomputed twiddles. A naive DFT
+//! fallback covers non-power-of-two lengths (used only in analysis helpers).
+//!
+//! Conventions match the paper's usage (and NumPy/SciPy):
+//!
+//! * forward: `X[f] = Σ_n x[n]·e^{-j2πfn/N}` (no normalization)
+//! * inverse: `x[n] = (1/N)·Σ_f X[f]·e^{+j2πfn/N}`
+//!
+//! so `ifft(fft(x)) == x`.
+
+use crate::complex::Cx;
+use std::f64::consts::PI;
+
+/// A reusable FFT plan for a fixed power-of-two size.
+///
+/// Precomputes the bit-reversal permutation and twiddle factors once, then
+/// executes transforms in-place with no allocation. One plan may be shared
+/// freely (`&self` methods).
+#[derive(Debug, Clone)]
+pub struct FftPlan {
+    n: usize,
+    // Twiddles for the forward transform: e^{-j2πk/N}, k in 0..N/2.
+    twiddles: Vec<Cx>,
+    bitrev: Vec<u32>,
+}
+
+impl FftPlan {
+    /// Builds a plan for transforms of length `n`.
+    ///
+    /// # Panics
+    /// Panics when `n` is zero or not a power of two.
+    pub fn new(n: usize) -> FftPlan {
+        assert!(n.is_power_of_two() && n > 0, "FFT size must be a power of two, got {n}");
+        let twiddles = (0..n / 2)
+            .map(|k| Cx::expj(-2.0 * PI * k as f64 / n as f64))
+            .collect();
+        let bits = n.trailing_zeros();
+        let bitrev = (0..n as u32)
+            .map(|i| i.reverse_bits() >> (32 - bits.max(1)))
+            .collect::<Vec<_>>();
+        let bitrev = if n == 1 { vec![0] } else { bitrev };
+        FftPlan { n, twiddles, bitrev }
+    }
+
+    /// Transform length.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Always `false`; plans have length ≥ 1.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// In-place forward FFT.
+    ///
+    /// # Panics
+    /// Panics when `data.len() != self.len()`.
+    pub fn forward(&self, data: &mut [Cx]) {
+        assert_eq!(data.len(), self.n, "buffer length must match plan size");
+        self.transform(data, false);
+    }
+
+    /// In-place inverse FFT (including the `1/N` normalization).
+    ///
+    /// # Panics
+    /// Panics when `data.len() != self.len()`.
+    pub fn inverse(&self, data: &mut [Cx]) {
+        assert_eq!(data.len(), self.n, "buffer length must match plan size");
+        self.transform(data, true);
+        let k = 1.0 / self.n as f64;
+        for v in data.iter_mut() {
+            *v = v.scale(k);
+        }
+    }
+
+    fn transform(&self, data: &mut [Cx], inverse: bool) {
+        let n = self.n;
+        if n == 1 {
+            return;
+        }
+        // Bit-reversal permutation.
+        for i in 0..n {
+            let j = self.bitrev[i] as usize;
+            if i < j {
+                data.swap(i, j);
+            }
+        }
+        // Iterative butterflies.
+        let mut half = 1;
+        while half < n {
+            let step = n / (2 * half);
+            for start in (0..n).step_by(2 * half) {
+                for k in 0..half {
+                    let w = {
+                        let t = self.twiddles[k * step];
+                        if inverse {
+                            t.conj()
+                        } else {
+                            t
+                        }
+                    };
+                    let a = data[start + k];
+                    let b = data[start + k + half] * w;
+                    data[start + k] = a + b;
+                    data[start + k + half] = a - b;
+                }
+            }
+            half *= 2;
+        }
+    }
+}
+
+/// Convenience forward FFT returning a new vector (power-of-two length).
+pub fn fft(input: &[Cx]) -> Vec<Cx> {
+    let plan = FftPlan::new(input.len());
+    let mut buf = input.to_vec();
+    plan.forward(&mut buf);
+    buf
+}
+
+/// Convenience inverse FFT returning a new vector (power-of-two length).
+pub fn ifft(input: &[Cx]) -> Vec<Cx> {
+    let plan = FftPlan::new(input.len());
+    let mut buf = input.to_vec();
+    plan.inverse(&mut buf);
+    buf
+}
+
+/// Naive DFT for arbitrary lengths. O(N²); analysis use only.
+pub fn dft(input: &[Cx]) -> Vec<Cx> {
+    let n = input.len();
+    (0..n)
+        .map(|f| {
+            (0..n)
+                .map(|t| input[t] * Cx::expj(-2.0 * PI * (f * t) as f64 / n as f64))
+                .sum()
+        })
+        .collect()
+}
+
+/// Shifts the zero-frequency bin to the center of the spectrum
+/// (`fftshift`): bins `[0..N)` become `[-N/2..N/2)`.
+pub fn fftshift(spec: &[Cx]) -> Vec<Cx> {
+    let n = spec.len();
+    let half = n.div_ceil(2);
+    let mut out = Vec::with_capacity(n);
+    out.extend_from_slice(&spec[half..]);
+    out.extend_from_slice(&spec[..half]);
+    out
+}
+
+/// Maps a centered subcarrier index `k ∈ [-N/2, N/2)` to the FFT bin index.
+#[inline]
+pub fn bin_of_subcarrier(k: i32, n: usize) -> usize {
+    let n = n as i32;
+    debug_assert!(k >= -n / 2 && k < n / 2);
+    ((k + n) % n) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::cx;
+
+    fn assert_close(a: &[Cx], b: &[Cx], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!((*x - *y).abs() < tol, "{x:?} vs {y:?}");
+        }
+    }
+
+    #[test]
+    fn impulse_transforms_to_flat_spectrum() {
+        let mut x = vec![Cx::ZERO; 8];
+        x[0] = Cx::ONE;
+        let spec = fft(&x);
+        for v in &spec {
+            assert!((*v - Cx::ONE).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_tone_lands_on_its_bin() {
+        let n = 64;
+        let k = 5;
+        let x: Vec<Cx> = (0..n)
+            .map(|t| Cx::expj(2.0 * PI * (k * t) as f64 / n as f64))
+            .collect();
+        let spec = fft(&x);
+        for (f, v) in spec.iter().enumerate() {
+            let expect = if f == k { n as f64 } else { 0.0 };
+            assert!((v.abs() - expect).abs() < 1e-9, "bin {f}");
+        }
+    }
+
+    #[test]
+    fn ifft_inverts_fft() {
+        let x: Vec<Cx> = (0..64)
+            .map(|i| cx((i as f64 * 0.37).sin(), (i as f64 * 1.7).cos()))
+            .collect();
+        let round = ifft(&fft(&x));
+        assert_close(&x, &round, 1e-12);
+    }
+
+    #[test]
+    fn fft_matches_naive_dft() {
+        let x: Vec<Cx> = (0..32)
+            .map(|i| cx((i as f64).sin(), (i as f64 * 0.5).cos()))
+            .collect();
+        assert_close(&fft(&x), &dft(&x), 1e-9);
+    }
+
+    #[test]
+    fn parseval_energy_is_preserved() {
+        let x: Vec<Cx> = (0..64).map(|i| cx((i as f64 * 0.1).sin(), 0.3)).collect();
+        let time_energy: f64 = x.iter().map(|v| v.norm_sq()).sum();
+        let freq_energy: f64 = fft(&x).iter().map(|v| v.norm_sq()).sum::<f64>() / 64.0;
+        assert!((time_energy - freq_energy).abs() < 1e-9);
+    }
+
+    #[test]
+    fn length_one_is_identity() {
+        let x = vec![cx(2.0, -3.0)];
+        assert_close(&fft(&x), &x, 1e-15);
+        assert_close(&ifft(&x), &x, 1e-15);
+    }
+
+    #[test]
+    fn subcarrier_bin_mapping() {
+        assert_eq!(bin_of_subcarrier(0, 64), 0);
+        assert_eq!(bin_of_subcarrier(1, 64), 1);
+        assert_eq!(bin_of_subcarrier(-1, 64), 63);
+        assert_eq!(bin_of_subcarrier(-28, 64), 36);
+        assert_eq!(bin_of_subcarrier(28, 64), 28);
+    }
+
+    #[test]
+    fn fftshift_centers_dc() {
+        let spec: Vec<Cx> = (0..8).map(|i| cx(i as f64, 0.0)).collect();
+        let sh = fftshift(&spec);
+        let re: Vec<f64> = sh.iter().map(|v| v.re).collect();
+        assert_eq!(re, vec![4.0, 5.0, 6.0, 7.0, 0.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_panics() {
+        FftPlan::new(12);
+    }
+}

@@ -1,0 +1,148 @@
+//! Gaussian pulse shaping for GFSK.
+//!
+//! Bluetooth BR applies a Gaussian filter with bandwidth-time product
+//! `BT = 0.5` to the rectangular frequency pulses before FM modulation.
+//! The pulse here is the standard closed form: the impulse response of a
+//! Gaussian low-pass with 3 dB bandwidth `B = BT / T`, sampled at `sps`
+//! samples per symbol and truncated to `span` symbols.
+
+use std::f64::consts::PI;
+
+/// Gaussian filter taps for GFSK pulse shaping.
+///
+/// * `bt` — bandwidth-time product (0.5 for Bluetooth BR, 0.3 for GSM).
+/// * `sps` — samples per symbol (20 at the 20 MHz WiFi sampling rate).
+/// * `span` — filter length in symbols (odd lengths keep symmetry; 3 is
+///   plenty for BT = 0.5).
+///
+/// Taps are normalized to unit sum so that a long run of identical bits
+/// reaches the full ±1 frequency deviation.
+pub fn gaussian_taps(bt: f64, sps: usize, span: usize) -> Vec<f64> {
+    assert!(bt > 0.0, "BT product must be positive");
+    assert!(sps >= 1 && span >= 1);
+    let n = sps * span;
+    let n = if n.is_multiple_of(2) { n + 1 } else { n };
+    let mid = (n / 2) as f64;
+    // alpha from the Gaussian LPF: h(t) ∝ exp(-t²·2π²B²/ln2), B = bt/T.
+    let b = bt / sps as f64; // cycles per sample
+    let k = 2.0 * PI * PI * b * b / (2.0f64).ln();
+    let mut taps: Vec<f64> = (0..n)
+        .map(|i| {
+            let t = i as f64 - mid;
+            (-k * t * t).exp()
+        })
+        .collect();
+    let sum: f64 = taps.iter().sum();
+    for t in &mut taps {
+        *t /= sum;
+    }
+    taps
+}
+
+/// Shapes a ±1 bit sequence into a frequency pulse train.
+///
+/// Each bit is held for `sps` samples (NRZ) and the result is convolved with
+/// the Gaussian taps. The output length is `bits.len() * sps` and is aligned
+/// so that the center of bit `i` is at sample `i*sps + sps/2` (the filter's
+/// group delay is removed).
+pub fn shape_bits(bits: &[bool], bt: f64, sps: usize, span: usize) -> Vec<f64> {
+    let taps = gaussian_taps(bt, sps, span);
+    let delay = taps.len() / 2;
+    let n = bits.len() * sps;
+    let nrz = |i: isize| -> f64 {
+        if i < 0 || i as usize >= n {
+            // Extend the edge bits rather than dropping to zero: real
+            // transmitters idle at the carrier, and extending avoids a fake
+            // frequency droop on the first/last bit.
+            if bits.is_empty() {
+                return 0.0;
+            }
+            let b = if i < 0 { bits[0] } else { bits[bits.len() - 1] };
+            return if b { 1.0 } else { -1.0 };
+        }
+        if bits[i as usize / sps] {
+            1.0
+        } else {
+            -1.0
+        }
+    };
+    (0..n)
+        .map(|out_i| {
+            taps.iter()
+                .enumerate()
+                .map(|(k, &t)| t * nrz(out_i as isize + delay as isize - k as isize))
+                .sum()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn taps_are_symmetric_and_normalized() {
+        let t = gaussian_taps(0.5, 20, 3);
+        let sum: f64 = t.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        for i in 0..t.len() / 2 {
+            assert!((t[i] - t[t.len() - 1 - i]).abs() < 1e-12);
+        }
+        // Peak at the center.
+        let mid = t.len() / 2;
+        assert!(t.iter().all(|&v| v <= t[mid] + 1e-15));
+    }
+
+    #[test]
+    fn long_run_reaches_full_deviation() {
+        let bits = vec![true; 8];
+        let f = shape_bits(&bits, 0.5, 20, 3);
+        // Middle of the run: frequency pulse saturates at +1.
+        assert!((f[4 * 20] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn alternating_bits_never_reach_full_deviation() {
+        let bits: Vec<bool> = (0..16).map(|i| i % 2 == 0).collect();
+        let f = shape_bits(&bits, 0.5, 20, 3);
+        // Interior only: the first/last bit are edge-extended by design and
+        // behave like a long run.
+        let interior = &f[4 * 20..12 * 20];
+        let peak = interior.iter().cloned().fold(0.0f64, |a, b| a.max(b.abs()));
+        // Gaussian ISI with BT=0.5 rounds off alternating bits (theory: a
+        // single-bit pulse peaks at ~0.93, neighbors subtract ~0.03 each).
+        assert!(peak < 0.93, "peak {peak}");
+        assert!(peak > 0.5, "peak {peak}");
+    }
+
+    #[test]
+    fn bit_centers_carry_the_bit_sign() {
+        let bits = vec![true, false, false, true, true, false, true, false];
+        let f = shape_bits(&bits, 0.5, 20, 3);
+        for (i, &b) in bits.iter().enumerate() {
+            let v = f[i * 20 + 10];
+            assert!(
+                (v > 0.0) == b,
+                "bit {i} center value {v} disagrees with bit {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn output_length_is_bits_times_sps() {
+        let bits = vec![true; 5];
+        assert_eq!(shape_bits(&bits, 0.5, 20, 3).len(), 100);
+        assert_eq!(shape_bits(&bits, 0.5, 8, 4).len(), 40);
+    }
+
+    #[test]
+    fn smaller_bt_spreads_pulse_more() {
+        let one_bit = vec![false, false, true, false, false];
+        let tight = shape_bits(&one_bit, 0.5, 20, 5);
+        let loose = shape_bits(&one_bit, 0.3, 20, 5);
+        // At the neighboring bit center, the low-BT pulse leaks more energy
+        // upward (closer to +1 than the BT=0.5 pulse).
+        let c = 1 * 20 + 10;
+        assert!(loose[c] > tight[c]);
+    }
+}

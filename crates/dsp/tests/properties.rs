@@ -1,0 +1,67 @@
+//! Property-based tests for the DSP substrate.
+
+use bluefi_dsp::bits::{bits_to_bytes_lsb, bits_to_u64_lsb, bytes_to_bits_lsb, u64_to_bits_lsb};
+use bluefi_dsp::fft::{fft, ifft};
+use bluefi_dsp::phase::{accumulate_frequency, discriminate, phase_to_iq, unwrap, wrap_angle};
+use bluefi_dsp::{cx, Cx};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn fft_ifft_roundtrip(values in prop::collection::vec((-10.0f64..10.0, -10.0f64..10.0), 64)) {
+        let x: Vec<Cx> = values.iter().map(|&(r, i)| cx(r, i)).collect();
+        let round = ifft(&fft(&x));
+        for (a, b) in x.iter().zip(&round) {
+            prop_assert!((*a - *b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn parseval_holds(values in prop::collection::vec((-5.0f64..5.0, -5.0f64..5.0), 32)) {
+        let x: Vec<Cx> = values.iter().map(|&(r, i)| cx(r, i)).collect();
+        let te: f64 = x.iter().map(|v| v.norm_sq()).sum();
+        let fe: f64 = fft(&x).iter().map(|v| v.norm_sq()).sum::<f64>() / 32.0;
+        prop_assert!((te - fe).abs() < 1e-6 * (1.0 + te));
+    }
+
+    #[test]
+    fn bytes_bits_roundtrip(bytes in prop::collection::vec(any::<u8>(), 0..200)) {
+        prop_assert_eq!(bits_to_bytes_lsb(&bytes_to_bits_lsb(&bytes)), bytes);
+    }
+
+    #[test]
+    fn u64_bits_roundtrip(v in any::<u64>(), width in 1usize..=64) {
+        let masked = if width == 64 { v } else { v & ((1u64 << width) - 1) };
+        prop_assert_eq!(bits_to_u64_lsb(&u64_to_bits_lsb(masked, width)), masked);
+    }
+
+    #[test]
+    fn unwrap_is_continuous(phases in prop::collection::vec(-20.0f64..20.0, 2..100)) {
+        let wrapped: Vec<f64> = phases.iter().map(|&p| wrap_angle(p)).collect();
+        let un = unwrap(&wrapped);
+        for w in un.windows(2) {
+            prop_assert!((w[1] - w[0]).abs() <= std::f64::consts::PI + 1e-9);
+        }
+    }
+
+    #[test]
+    fn discriminator_inverts_accumulation(freqs in prop::collection::vec(-0.2f64..0.2, 2..64)) {
+        let phase = accumulate_frequency(&freqs, 0.3);
+        let iq = phase_to_iq(&phase);
+        let rec = discriminate(&iq);
+        // rec[n] (n >= 1) recovers freqs[n-1] (the step into sample n).
+        for n in 1..freqs.len() {
+            prop_assert!((rec[n] - freqs[n - 1]).abs() < 1e-9, "n={} {} vs {}", n, rec[n], freqs[n-1]);
+        }
+    }
+
+    #[test]
+    fn wrap_angle_is_idempotent_and_bounded(a in -1000.0f64..1000.0) {
+        let w = wrap_angle(a);
+        prop_assert!(w > -std::f64::consts::PI - 1e-12 && w <= std::f64::consts::PI + 1e-12);
+        prop_assert!((wrap_angle(w) - w).abs() < 1e-12);
+        // Same angle modulo 2π.
+        let d = (a - w) / (2.0 * std::f64::consts::PI);
+        prop_assert!((d - d.round()).abs() < 1e-9);
+    }
+}

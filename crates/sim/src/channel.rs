@@ -1,0 +1,269 @@
+//! The over-the-air channel model standing in for the paper's office
+//! environment: log-distance path loss, log-normal shadowing, AWGN, carrier
+//! frequency offset, an optional two-ray multipath, and bursty co-channel
+//! interference ("at least 2 other APs operating on the same channel").
+
+use bluefi_dsp::power::{dbm_to_mw, from_db};
+use bluefi_dsp::Cx;
+use rand::Rng;
+use rand_distr_normal::StandardNormalish;
+
+/// Minimal Box–Muller standard normal so we stay within the approved
+/// dependency set (rand's `r#gen` gives uniforms; rand_distr is not used).
+mod rand_distr_normal {
+    use rand::Rng;
+
+    pub struct StandardNormalish;
+
+    impl StandardNormalish {
+        pub fn sample<R: Rng>(rng: &mut R) -> f64 {
+            let u1: f64 = rng.gen_range(1e-12..1.0);
+            let u2: f64 = rng.gen_range(0.0..1.0);
+            (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+        }
+    }
+}
+
+/// Channel configuration.
+#[derive(Debug, Clone)]
+pub struct ChannelConfig {
+    /// Transmitter–receiver distance in meters.
+    pub distance_m: f64,
+    /// Path loss at the 1 m reference distance, dB (≈ 46 dB at 2.4 GHz
+    /// including typical antenna inefficiencies).
+    pub ref_loss_db: f64,
+    /// Path-loss exponent (2.0 free space; 2.2–3.0 indoors).
+    pub path_loss_exponent: f64,
+    /// Per-packet log-normal shadowing sigma, dB.
+    pub shadowing_sigma_db: f64,
+    /// Receiver noise floor over the 20 MHz sampled band, dBm (thermal
+    /// −101 dBm/20 MHz plus the device's noise figure).
+    pub noise_floor_dbm: f64,
+    /// Carrier frequency offset between TX and RX crystals, Hz.
+    pub cfo_hz: f64,
+    /// Optional second ray: (delay in samples, relative amplitude).
+    pub multipath: Option<(usize, f64)>,
+    /// Probability that a packet overlaps a co-channel interference burst,
+    /// and the burst's power relative to the noise floor in dB.
+    pub interference: Option<(f64, f64)>,
+}
+
+impl Default for ChannelConfig {
+    fn default() -> ChannelConfig {
+        ChannelConfig {
+            distance_m: 1.5,
+            ref_loss_db: 46.0,
+            path_loss_exponent: 2.2,
+            shadowing_sigma_db: 1.5,
+            noise_floor_dbm: -91.0,
+            cfo_hz: 10e3,
+            multipath: None,
+            interference: None,
+        }
+    }
+}
+
+impl ChannelConfig {
+    /// Mean path loss in dB at the configured distance.
+    pub fn path_loss_db(&self) -> f64 {
+        self.ref_loss_db
+            + 10.0 * self.path_loss_exponent * self.distance_m.max(0.05).log10()
+    }
+
+    /// An office channel at a given distance (the paper's near/close/far).
+    pub fn office(distance_m: f64) -> ChannelConfig {
+        ChannelConfig {
+            distance_m,
+            interference: Some((0.05, 15.0)),
+            ..Default::default()
+        }
+    }
+}
+
+/// The channel itself.
+#[derive(Debug, Clone)]
+pub struct Channel {
+    cfg: ChannelConfig,
+    sample_rate_hz: f64,
+}
+
+impl Channel {
+    /// Builds a channel at the 20 MHz simulation rate.
+    pub fn new(cfg: ChannelConfig) -> Channel {
+        Channel { cfg, sample_rate_hz: 20e6 }
+    }
+
+    /// Configuration access.
+    pub fn config(&self) -> &ChannelConfig {
+        &self.cfg
+    }
+
+    /// Applies the channel to one transmitted packet, returning the
+    /// waveform at the receiver's antenna. Deterministic given `rng`.
+    pub fn apply<R: Rng>(&self, tx: &[Cx], rng: &mut R) -> Vec<Cx> {
+        let shadow_db = StandardNormalish::sample(rng) * self.cfg.shadowing_sigma_db;
+        let gain = from_db(-(self.cfg.path_loss_db() + shadow_db)).sqrt();
+        let w = 2.0 * std::f64::consts::PI * self.cfg.cfo_hz / self.sample_rate_hz;
+
+        // Path loss + CFO (+ optional two-ray).
+        let mut rx: Vec<Cx> = tx
+            .iter()
+            .enumerate()
+            .map(|(n, &v)| v.scale(gain).rotate(w * n as f64))
+            .collect();
+        if let Some((delay, amp)) = self.cfg.multipath {
+            let ray_phase = rng.gen_range(0.0..2.0 * std::f64::consts::PI);
+            let ray = Cx::expj(ray_phase).scale(amp);
+            for n in (delay..rx.len()).rev() {
+                let echo = rx[n - delay] * ray;
+                rx[n] += echo;
+            }
+        }
+
+        // AWGN at the noise floor (complex: half the power per component).
+        let sigma = (dbm_to_mw(self.cfg.noise_floor_dbm) / 2.0).sqrt();
+        for v in rx.iter_mut() {
+            v.re += sigma * StandardNormalish::sample(rng);
+            v.im += sigma * StandardNormalish::sample(rng);
+        }
+
+        // Bursty co-channel interference: raise the floor for a stretch of
+        // the packet.
+        if let Some((prob, power_db)) = self.cfg.interference {
+            if rng.gen_bool(prob.clamp(0.0, 1.0)) {
+                let burst_sigma =
+                    (dbm_to_mw(self.cfg.noise_floor_dbm + power_db) / 2.0).sqrt();
+                let len = rx.len() / 4;
+                let start = rng.gen_range(0..rx.len() - len);
+                for v in rx[start..start + len].iter_mut() {
+                    v.re += burst_sigma * StandardNormalish::sample(rng);
+                    v.im += burst_sigma * StandardNormalish::sample(rng);
+                }
+            }
+        }
+        rx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bluefi_dsp::power::{mean_power, mw_to_dbm};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tone(n: usize) -> Vec<Cx> {
+        (0..n).map(|i| Cx::expj(0.3 * i as f64)).collect()
+    }
+
+    #[test]
+    fn path_loss_scales_with_distance() {
+        let a = ChannelConfig { distance_m: 1.0, ..Default::default() };
+        let b = ChannelConfig { distance_m: 10.0, ..Default::default() };
+        let d = b.path_loss_db() - a.path_loss_db();
+        assert!((d - 22.0).abs() < 1e-9, "10x distance = 10·n dB, got {d}");
+    }
+
+    #[test]
+    fn received_power_matches_budget() {
+        let cfg = ChannelConfig {
+            distance_m: 1.5,
+            shadowing_sigma_db: 0.0,
+            noise_floor_dbm: -120.0, // negligible
+            cfo_hz: 0.0,
+            interference: None,
+            ..Default::default()
+        };
+        let expect_db = -cfg.path_loss_db();
+        let ch = Channel::new(cfg);
+        let mut rng = StdRng::seed_from_u64(1);
+        let rx = ch.apply(&tone(20_000), &mut rng);
+        let got = mw_to_dbm(mean_power(&rx)); // tx power = 0 dBm (unit tone)
+        assert!((got - expect_db).abs() < 0.5, "{got} vs {expect_db}");
+    }
+
+    #[test]
+    fn noise_floor_is_respected() {
+        let cfg = ChannelConfig {
+            noise_floor_dbm: -91.0,
+            shadowing_sigma_db: 0.0,
+            interference: None,
+            ..Default::default()
+        };
+        let ch = Channel::new(cfg);
+        let mut rng = StdRng::seed_from_u64(2);
+        let silence = vec![Cx::ZERO; 50_000];
+        let rx = ch.apply(&silence, &mut rng);
+        let got = mw_to_dbm(mean_power(&rx));
+        assert!((got + 91.0).abs() < 0.3, "noise floor {got}");
+    }
+
+    #[test]
+    fn shadowing_varies_per_packet() {
+        let cfg = ChannelConfig { shadowing_sigma_db: 4.0, ..Default::default() };
+        let ch = Channel::new(cfg);
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = tone(5_000);
+        let powers: Vec<f64> = (0..20)
+            .map(|_| mw_to_dbm(mean_power(&ch.apply(&t, &mut rng))))
+            .collect();
+        let spread = powers.iter().cloned().fold(f64::MIN, f64::max)
+            - powers.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(spread > 5.0, "shadowing spread {spread} dB");
+    }
+
+    #[test]
+    fn cfo_rotates_the_carrier() {
+        let cfg = ChannelConfig {
+            cfo_hz: 100e3,
+            shadowing_sigma_db: 0.0,
+            noise_floor_dbm: -150.0,
+            ref_loss_db: 0.0,
+            path_loss_exponent: 0.0,
+            interference: None,
+            ..Default::default()
+        };
+        let ch = Channel::new(cfg);
+        let mut rng = StdRng::seed_from_u64(4);
+        let dc = vec![Cx::ONE; 1000];
+        let rx = ch.apply(&dc, &mut rng);
+        // After 200 samples (10 µs) the 100 kHz CFO advances by 2π x .
+        let expect = 2.0 * std::f64::consts::PI * 100e3 / 20e6 * 200.0;
+        let got = (rx[200] * rx[0].conj()).arg();
+        let err = bluefi_dsp::phase::wrap_angle(got - expect);
+        assert!(err.abs() < 1e-6, "{err}");
+    }
+
+    #[test]
+    fn multipath_adds_an_echo() {
+        let cfg = ChannelConfig {
+            multipath: Some((40, 0.5)),
+            shadowing_sigma_db: 0.0,
+            noise_floor_dbm: -150.0,
+            cfo_hz: 0.0,
+            interference: None,
+            ..Default::default()
+        };
+        let ch = Channel::new(cfg);
+        let mut rng = StdRng::seed_from_u64(5);
+        // An impulse: the echo must appear at the delay.
+        let mut x = vec![Cx::ZERO; 200];
+        x[10] = Cx::ONE;
+        let rx = ch.apply(&x, &mut rng);
+        let main = rx[10].abs();
+        let echo = rx[50].abs();
+        assert!(echo > main * 0.45 && echo < main * 0.55, "echo {echo} main {main}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let ch = Channel::new(ChannelConfig::office(1.5));
+        let t = tone(1000);
+        let a = ch.apply(&t, &mut StdRng::seed_from_u64(9));
+        let b = ch.apply(&t, &mut StdRng::seed_from_u64(9));
+        assert_eq!(
+            a.iter().map(|v| v.re).sum::<f64>(),
+            b.iter().map(|v| v.re).sum::<f64>()
+        );
+    }
+}

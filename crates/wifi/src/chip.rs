@@ -1,0 +1,249 @@
+//! Models of the WiFi transmitters the paper evaluates (Sec 3):
+//! the Atheros AR9331 (ath9k, GL-AR150 router), the Realtek RTL8811AU
+//! (TP-Link T2U Nano) and a USRP-style SDR used for the impairment study.
+//!
+//! The chip model captures exactly the vendor behaviours BlueFi depends on:
+//!
+//! * **Scrambler seed policy** — Atheros increments the seed per packet
+//!   (predictable, and settable to a constant 1 via the GEN_SCRAMBLER
+//!   register bit); Realtek uses a fixed seed (71 on RTL8811AU); an SDR
+//!   lets you pick.
+//! * **OFDM windowing** — always on in COTS silicon, absent on the SDR
+//!   (which is why waveforms that ignore the continuity constraint work on
+//!   USRP but not on real chips, Sec 2.4).
+//! * **Default transmit power** — 18 dBm on the AR9331, similar on the
+//!   RTL8811AU; the USRP is calibrated per experiment.
+
+use crate::mcs::Mcs;
+use crate::preamble::ht_mixed_preamble;
+use crate::tx::{data_field, TxConfig};
+use bluefi_dsp::power::{dbm_to_mw, mean_power};
+use bluefi_dsp::Cx;
+
+/// How a chip chooses the scrambler seed for successive packets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeedPolicy {
+    /// A fixed seed for every packet (Realtek; or Atheros with
+    /// GEN_SCRAMBLER cleared).
+    Constant(u8),
+    /// Arithmetic sequence: seed increments by 1 each packet, wrapping
+    /// within 1..=127 (Atheros default).
+    Incrementing {
+        /// Seed used for the next packet.
+        next: u8,
+    },
+}
+
+impl SeedPolicy {
+    /// The seed the next packet will use, advancing the policy state.
+    pub fn take_seed(&mut self) -> u8 {
+        match self {
+            SeedPolicy::Constant(s) => *s,
+            SeedPolicy::Incrementing { next } => {
+                let s = *next;
+                *next = if *next >= 127 { 1 } else { *next + 1 };
+                s
+            }
+        }
+    }
+
+    /// Predicts the seed `k` packets ahead without advancing.
+    pub fn predict(&self, k: usize) -> u8 {
+        match self {
+            SeedPolicy::Constant(s) => *s,
+            SeedPolicy::Incrementing { next } => {
+                (((*next as usize - 1) + k) % 127 + 1) as u8
+            }
+        }
+    }
+}
+
+/// A WiFi transmitter model.
+#[derive(Debug, Clone)]
+pub struct ChipModel {
+    /// Human-readable chip name.
+    pub name: &'static str,
+    /// Scrambler seed behaviour.
+    pub seed_policy: SeedPolicy,
+    /// Whether the TX path applies per-symbol windowing.
+    pub windowing: bool,
+    /// Default transmit power in dBm.
+    pub default_tx_dbm: f64,
+    /// Per-chip amplitude flatness ripple (fractional, models the wider
+    /// RSSI variance the paper observed on the RTL8811AU, Fig 5c).
+    pub amplitude_ripple: f64,
+}
+
+impl ChipModel {
+    /// Qualcomm Atheros AR9331 (GL-AR150 router, ath79/ath9k).
+    pub fn ar9331() -> ChipModel {
+        ChipModel {
+            name: "AR9331",
+            // BlueFi sets the seed to a constant 1 by clearing the (moved)
+            // GEN_SCRAMBLER register bit (Sec 3).
+            seed_policy: SeedPolicy::Constant(1),
+            windowing: true,
+            default_tx_dbm: 18.0,
+            amplitude_ripple: 0.02,
+        }
+    }
+
+    /// Atheros with the stock driver: incrementing seeds, still predictable.
+    pub fn ar9331_stock() -> ChipModel {
+        ChipModel {
+            seed_policy: SeedPolicy::Incrementing { next: 1 },
+            ..ChipModel::ar9331()
+        }
+    }
+
+    /// Realtek RTL8811AU (TP-Link T2U Nano): constant seed 71.
+    pub fn rtl8811au() -> ChipModel {
+        ChipModel {
+            name: "RTL8811AU",
+            seed_policy: SeedPolicy::Constant(71),
+            windowing: true,
+            default_tx_dbm: 18.0,
+            amplitude_ripple: 0.08,
+        }
+    }
+
+    /// A USRP-style SDR: chosen seed, no hardware windowing.
+    pub fn usrp(seed: u8) -> ChipModel {
+        ChipModel {
+            name: "USRP",
+            seed_policy: SeedPolicy::Constant(seed),
+            windowing: false,
+            default_tx_dbm: 10.0,
+            amplitude_ripple: 0.0,
+        }
+    }
+
+    /// Builds the TX configuration this chip applies to a BlueFi packet.
+    pub fn tx_config(&self, mcs: Mcs, seed: u8) -> TxConfig {
+        TxConfig {
+            mcs,
+            gi: crate::ofdm::GuardInterval::Short,
+            scrambler_seed: seed,
+            windowing: self.windowing,
+        }
+    }
+
+    /// Transmits a PSDU: preamble + data field, scaled so mean transmit
+    /// power equals `tx_dbm` (treating 1.0² sample power as 1 mW before
+    /// scaling — an arbitrary but consistent reference the channel model
+    /// shares).
+    pub fn transmit(&mut self, psdu: &[u8], mcs: Mcs, tx_dbm: f64) -> Ppdu {
+        let seed = self.seed_policy.take_seed();
+        self.transmit_with_seed(psdu, mcs, tx_dbm, seed)
+    }
+
+    /// Like [`ChipModel::transmit`] but with an explicit scrambler seed
+    /// (what BlueFi's driver patch arranges).
+    pub fn transmit_with_seed(&self, psdu: &[u8], mcs: Mcs, tx_dbm: f64, seed: u8) -> Ppdu {
+        let cfg = self.tx_config(mcs, seed);
+        let data = data_field(psdu, &cfg);
+        let mut preamble = ht_mixed_preamble(&mcs, psdu.len(), true);
+        // The preamble is generated in normalized units; bring it to the
+        // data field's unnormalized constellation units so both have the
+        // standard's equal average power.
+        let k = 1.0 / mcs.modulation.kmod();
+        for v in &mut preamble {
+            *v = v.scale(k);
+        }
+        let mut iq: Vec<Cx> = preamble;
+        iq.extend(data);
+        // Scale to the requested transmit power.
+        let p = mean_power(&iq);
+        let target = dbm_to_mw(tx_dbm);
+        let g = (target / p).sqrt();
+        for v in &mut iq {
+            *v = v.scale(g);
+        }
+        Ppdu { iq, seed, preamble_len: 720 }
+    }
+}
+
+/// A transmitted PPDU: 20 Msps baseband IQ plus metadata.
+#[derive(Debug, Clone)]
+pub struct Ppdu {
+    /// Baseband IQ at 20 Msps, scaled to the requested power.
+    pub iq: Vec<Cx>,
+    /// Scrambler seed the packet was built with.
+    pub seed: u8,
+    /// Number of preamble samples before the data field.
+    pub preamble_len: usize,
+}
+
+impl Ppdu {
+    /// The data-field portion of the waveform.
+    pub fn data(&self) -> &[Cx] {
+        &self.iq[self.preamble_len..]
+    }
+
+    /// Airtime in microseconds at 20 Msps.
+    pub fn airtime_us(&self) -> f64 {
+        self.iq.len() as f64 / 20.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seed_policies() {
+        let mut p = SeedPolicy::Incrementing { next: 126 };
+        assert_eq!(p.take_seed(), 126);
+        assert_eq!(p.take_seed(), 127);
+        assert_eq!(p.take_seed(), 1); // wraps, never 0
+        let mut c = SeedPolicy::Constant(71);
+        assert_eq!(c.take_seed(), 71);
+        assert_eq!(c.take_seed(), 71);
+    }
+
+    #[test]
+    fn seed_prediction_matches_actuals() {
+        let template = SeedPolicy::Incrementing { next: 120 };
+        let mut live = template;
+        for k in 0..20 {
+            assert_eq!(template.predict(k), live.take_seed(), "packet {k}");
+        }
+    }
+
+    #[test]
+    fn transmit_power_is_respected() {
+        let chip = ChipModel::rtl8811au();
+        for dbm in [0.0, 10.0, 18.0] {
+            let ppdu = chip.transmit_with_seed(&[0xAB; 50], Mcs::from_index(7), dbm, 71);
+            let p = mean_power(&ppdu.iq);
+            let err_db = (p / dbm_to_mw(dbm)).log10().abs() * 10.0;
+            assert!(err_db < 0.01, "{dbm} dBm: error {err_db} dB");
+        }
+    }
+
+    #[test]
+    fn chips_differ_in_windowing() {
+        assert!(ChipModel::ar9331().windowing);
+        assert!(ChipModel::rtl8811au().windowing);
+        assert!(!ChipModel::usrp(1).windowing);
+    }
+
+    #[test]
+    fn ppdu_layout() {
+        let chip = ChipModel::ar9331();
+        let ppdu = chip.transmit_with_seed(&[0u8; 29], Mcs::from_index(7), 18.0, 1);
+        assert_eq!(ppdu.iq.len(), 720 + 72);
+        assert_eq!(ppdu.data().len(), 72);
+        assert!((ppdu.airtime_us() - 39.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn preamble_and_data_have_similar_power() {
+        let chip = ChipModel::ar9331();
+        let ppdu = chip.transmit_with_seed(&[0x5A; 500], Mcs::from_index(7), 18.0, 1);
+        let pp = mean_power(&ppdu.iq[..720]);
+        let pd = mean_power(ppdu.data());
+        let ratio_db = 10.0 * (pp / pd).log10();
+        assert!(ratio_db.abs() < 3.0, "preamble/data power ratio {ratio_db} dB");
+    }
+}

@@ -1,0 +1,97 @@
+//! Pilot tones (IEEE 802.11-2016, 17.3.5.10 and 19.3.11.10).
+//!
+//! Four BPSK pilots ride at subcarriers ±7 and ±21. Their signs come from
+//! two sources: the 127-periodic *polarity sequence* `p_n` (the scrambler
+//! m-sequence with an all-ones seed, +1 for a 0 bit) indexed by symbol, and
+//! — for HT — the per-stream pattern Ψ = {1,1,1,−1} that rotates across the
+//! pilot positions with the symbol index.
+//!
+//! In unnormalized constellation units (64-QAM levels ±1..±7), a pilot has
+//! magnitude `1/K_MOD = √42 ≈ 6.48` — which is why the paper's impairment
+//! I3 calls pilots "on average of higher magnitudes than those for data
+//! transmission".
+
+use bluefi_coding::lfsr::Lfsr7;
+
+/// The pilot polarity sequence `p_0..p_126`, cyclic.
+///
+/// Generated from the scrambler LFSR seeded with all ones: output bit 0 →
+/// +1, bit 1 → −1 (the standard tabulates the same 127 values).
+pub fn polarity_sequence() -> [i8; 127] {
+    let mut lfsr = Lfsr7::new(0x7F);
+    let mut out = [0i8; 127];
+    for v in out.iter_mut() {
+        *v = if lfsr.next_bit() { -1 } else { 1 };
+    }
+    out
+}
+
+/// Polarity `p_n` for an unbounded symbol index.
+pub fn polarity(n: usize) -> i8 {
+    polarity_sequence()[n % 127]
+}
+
+/// HT single-stream pilot pattern Ψ (19.3.11.10, N_STS = 1).
+pub const HT_PSI: [i8; 4] = [1, 1, 1, -1];
+
+/// Symbol-index offset of the first HT data symbol into the polarity
+/// sequence: L-SIG consumes p₀, HT-SIG1/2 consume p₁ and p₂, so data
+/// symbol n uses `p_{n+3}`.
+pub const HT_DATA_Z: usize = 3;
+
+/// Pilot values (±1, in K_MOD-normalized units) for HT data symbol `n`, in
+/// subcarrier order (−21, −7, +7, +21).
+pub fn ht_pilot_values(n: usize) -> [f64; 4] {
+    let p = polarity(n + HT_DATA_Z) as f64;
+    let mut out = [0.0; 4];
+    for (m, o) in out.iter_mut().enumerate() {
+        *o = p * HT_PSI[(m + n) % 4] as f64;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequence_starts_like_the_standard() {
+        // 17.3.5.10: p_0.. = 1,1,1,1, -1,-1,-1,1, -1,-1,-1,-1, 1,1,-1,1 ...
+        let p = polarity_sequence();
+        let head = [1i8, 1, 1, 1, -1, -1, -1, 1, -1, -1, -1, -1, 1, 1, -1, 1];
+        assert_eq!(&p[..16], &head);
+    }
+
+    #[test]
+    fn sequence_is_balanced_m_sequence() {
+        let p = polarity_sequence();
+        let minus = p.iter().filter(|&&v| v == -1).count();
+        // An m-sequence of period 127 has 64 ones (LFSR bit 1 -> -1).
+        assert_eq!(minus, 64);
+        assert_eq!(p.len() - minus, 63);
+    }
+
+    #[test]
+    fn polarity_wraps_at_127() {
+        assert_eq!(polarity(0), polarity(127));
+        assert_eq!(polarity(5), polarity(132));
+    }
+
+    #[test]
+    fn ht_pilots_rotate_psi() {
+        // Symbol 0 uses Ψ as-is times p_3; symbol 1 rotates by one.
+        let p3 = polarity(3) as f64;
+        assert_eq!(ht_pilot_values(0), [p3, p3, p3, -p3]);
+        let p4 = polarity(4) as f64;
+        assert_eq!(ht_pilot_values(1), [p4, p4, -p4, p4]);
+    }
+
+    #[test]
+    fn pilot_values_are_unit_magnitude() {
+        for n in 0..200 {
+            for v in ht_pilot_values(n) {
+                assert_eq!(v.abs(), 1.0);
+            }
+        }
+    }
+}

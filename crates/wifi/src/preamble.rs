@@ -1,0 +1,308 @@
+//! The HT mixed-format preamble (IEEE 802.11-2016, 19.3.9): L-STF, L-LTF,
+//! L-SIG, HT-SIG1/2, HT-STF and one HT-LTF — 36 µs / 720 samples ahead of
+//! the data field.
+//!
+//! BlueFi transmits the preamble because the hardware insists on it; from a
+//! Bluetooth receiver's point of view it is a short burst of wideband
+//! interference before the GFSK payload (the "+Header" impairment of
+//! Fig 8). The field structure here is spec-faithful for the legacy part
+//! and the HT-SIG contents; the two HT-LTF edge subcarriers use the common
+//! {+1,+1,…,−1,−1} extension.
+
+use crate::mcs::Mcs;
+use crate::ofdm::{modulate_symbol, spectrum_from_subcarriers, GuardInterval};
+use crate::pilots::polarity;
+use crate::subcarriers::FFT_SIZE;
+use bluefi_coding::puncture::{puncture, CodeRate};
+use bluefi_coding::ConvEncoder;
+use bluefi_dsp::{cx, Cx, FftPlan};
+
+/// Legacy short-training-field frequency pattern: ±(1+j)·√(13/6) on
+/// multiples of 4.
+fn lstf_spectrum() -> Vec<Cx> {
+    let a = (13.0f64 / 6.0).sqrt();
+    let p = cx(a, a);
+    let m = -p;
+    let table: [(i32, Cx); 12] = [
+        (-24, p),
+        (-20, m),
+        (-16, p),
+        (-12, m),
+        (-8, m),
+        (-4, p),
+        (4, m),
+        (8, m),
+        (12, p),
+        (16, p),
+        (20, p),
+        (24, p),
+    ];
+    spectrum_from_subcarriers(&table)
+}
+
+/// Legacy long-training-field sequence on subcarriers −26..26.
+pub const LTF_SEQ: [i8; 53] = [
+    1, 1, -1, -1, 1, 1, -1, 1, -1, 1, 1, 1, 1, 1, 1, -1, -1, 1, 1, -1, 1, -1, 1, 1, 1, 1, // -26..-1
+    0, // DC
+    1, -1, -1, 1, 1, -1, 1, -1, 1, -1, -1, -1, -1, -1, 1, 1, -1, -1, 1, -1, 1, -1, 1, 1, 1, 1, // 1..26
+];
+
+fn lltf_spectrum() -> Vec<Cx> {
+    let vals: Vec<(i32, Cx)> = (-26..=26)
+        .map(|k| (k, cx(LTF_SEQ[(k + 26) as usize] as f64, 0.0)))
+        .collect();
+    spectrum_from_subcarriers(&vals)
+}
+
+/// HT-LTF: the legacy sequence extended to ±28 with {+1,+1} on −28,−27 and
+/// {−1,−1} on 27,28.
+fn htltf_spectrum() -> Vec<Cx> {
+    let mut vals: Vec<(i32, Cx)> = (-26..=26)
+        .map(|k| (k, cx(LTF_SEQ[(k + 26) as usize] as f64, 0.0)))
+        .collect();
+    vals.push((-28, cx(1.0, 0.0)));
+    vals.push((-27, cx(1.0, 0.0)));
+    vals.push((27, cx(-1.0, 0.0)));
+    vals.push((28, cx(-1.0, 0.0)));
+    spectrum_from_subcarriers(&vals)
+}
+
+/// Encodes and maps a 24-bit-per-symbol legacy signaling field (L-SIG or
+/// HT-SIG): rate-1/2 BCC, legacy 48-bit interleaving, (Q)BPSK with legacy
+/// pilots.
+fn signal_symbols(bits: &[bool], qbpsk: bool, polarity_start: usize) -> Vec<Vec<Cx>> {
+    assert_eq!(bits.len() % 24, 0);
+    let coded = puncture(CodeRate::R12, &ConvEncoder::new().encode(bits));
+    // Legacy interleaver for BPSK (48 coded bits/symbol, s = 1):
+    // i = 3·(k mod 16) + ⌊k/16⌋, j = i.
+    let plan = FftPlan::new(FFT_SIZE);
+    coded
+        .chunks_exact(48)
+        .enumerate()
+        .map(|(n, chunk)| {
+            let mut inter = [false; 48];
+            for (k, &b) in chunk.iter().enumerate() {
+                inter[3 * (k % 16) + k / 16] = b;
+            }
+            // Legacy data subcarriers: −26..26 minus pilots/DC.
+            let mut vals: Vec<(i32, Cx)> = Vec::with_capacity(52);
+            let mut d = 0;
+            for k in -26i32..=26 {
+                if k == 0 || [-21, -7, 7, 21].contains(&k) {
+                    continue;
+                }
+                let v = if inter[d] { 1.0 } else { -1.0 };
+                vals.push((k, if qbpsk { cx(0.0, v) } else { cx(v, 0.0) }));
+                d += 1;
+            }
+            let p = polarity(polarity_start + n) as f64;
+            for (m, &sc) in [-21i32, -7, 7, 21].iter().enumerate() {
+                let sign = if m == 3 { -1.0 } else { 1.0 };
+                vals.push((sc, cx(p * sign, 0.0)));
+            }
+            modulate_symbol(&plan, &spectrum_from_subcarriers(&vals), GuardInterval::Long)
+        })
+        .collect()
+}
+
+/// L-SIG contents: RATE = 6 Mbps (0b1101), 12-bit LENGTH, even parity,
+/// 6 tail zeros.
+fn lsig_bits(length: usize) -> Vec<bool> {
+    assert!(length < 4096);
+    let mut bits = vec![true, true, false, true]; // RATE 6 Mbps, LSB first per spec order R1-R4
+    bits.push(false); // reserved
+    for i in 0..12 {
+        bits.push((length >> i) & 1 == 1);
+    }
+    let parity = bits.iter().filter(|&&b| b).count() % 2 == 1;
+    bits.push(parity); // even parity over bits 0..17
+    bits.extend([false; 6]);
+    bits
+}
+
+/// HT-SIG contents (19.3.9.4.3): MCS, CBW20, HT length, SGI flag, CRC-8,
+/// tail.
+fn htsig_bits(mcs: &Mcs, psdu_len: usize, short_gi: bool) -> Vec<bool> {
+    let mut bits = Vec::with_capacity(48);
+    for i in 0..7 {
+        bits.push((mcs.index >> i) & 1 == 1);
+    }
+    bits.push(false); // CBW 20 MHz
+    for i in 0..16 {
+        bits.push((psdu_len >> i) & 1 == 1);
+    }
+    bits.push(true); // smoothing
+    bits.push(true); // not sounding
+    bits.push(true); // reserved
+    bits.push(false); // aggregation
+    bits.extend([false, false]); // STBC
+    bits.push(false); // FEC: BCC
+    bits.push(short_gi);
+    bits.extend([false, false]); // extension spatial streams
+    // CRC-8 over bits 0..34 (x^8+x^2+x+1, init all ones, output inverted).
+    let mut reg = 0xFFu8;
+    for &b in &bits {
+        let fb = ((reg >> 7) & 1 == 1) ^ b;
+        reg <<= 1;
+        if fb {
+            reg ^= 0x07;
+        }
+    }
+    reg = !reg;
+    for i in (0..8).rev() {
+        bits.push((reg >> i) & 1 == 1);
+    }
+    bits.extend([false; 6]);
+    assert_eq!(bits.len(), 48);
+    bits
+}
+
+/// Generates the full 720-sample HT-mixed preamble for a transmission of
+/// `psdu_len` bytes at `mcs`.
+pub fn ht_mixed_preamble(mcs: &Mcs, psdu_len: usize, short_gi: bool) -> Vec<Cx> {
+    let plan = FftPlan::new(FFT_SIZE);
+    let mut out = Vec::with_capacity(720);
+
+    // L-STF: 10 repetitions of the 16-sample short symbol (160 samples).
+    let stf_time = {
+        let mut buf = lstf_spectrum();
+        plan.inverse(&mut buf);
+        buf
+    };
+    for _ in 0..10 {
+        out.extend_from_slice(&stf_time[..16]);
+    }
+
+    // L-LTF: 32-sample CP + two 64-sample long symbols.
+    let ltf_time = {
+        let mut buf = lltf_spectrum();
+        plan.inverse(&mut buf);
+        buf
+    };
+    out.extend_from_slice(&ltf_time[32..]);
+    out.extend_from_slice(&ltf_time);
+    out.extend_from_slice(&ltf_time);
+
+    // L-SIG (1 symbol, polarity p0). The legacy LENGTH field spoofs the
+    // duration of the whole HT transmission for legacy deference.
+    let legacy_len = (psdu_len * 8 / 6 + 20).min(4095);
+    out.extend(signal_symbols(&lsig_bits(legacy_len), false, 0).remove(0));
+
+    // HT-SIG1/2 (2 QBPSK symbols, polarities p1, p2).
+    let ht = signal_symbols(&htsig_bits(mcs, psdu_len, short_gi), true, 1);
+    for sym in ht {
+        out.extend(sym);
+    }
+
+    // HT-STF (80 samples: 5 reps of the 16-sample pattern).
+    for _ in 0..5 {
+        out.extend_from_slice(&stf_time[..16]);
+    }
+
+    // HT-LTF (16-sample CP + 64).
+    let htltf_time = {
+        let mut buf = htltf_spectrum();
+        plan.inverse(&mut buf);
+        buf
+    };
+    out.extend_from_slice(&htltf_time[48..]);
+    out.extend_from_slice(&htltf_time);
+
+    debug_assert_eq!(out.len(), 720);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bluefi_dsp::power::mean_power;
+
+    #[test]
+    fn preamble_is_720_samples() {
+        let p = ht_mixed_preamble(&Mcs::from_index(7), 1000, true);
+        assert_eq!(p.len(), 720);
+    }
+
+    #[test]
+    fn lstf_is_16_periodic() {
+        let p = ht_mixed_preamble(&Mcs::from_index(7), 100, true);
+        for i in 0..160 - 16 {
+            assert!((p[i] - p[i + 16]).abs() < 1e-12, "sample {i}");
+        }
+    }
+
+    #[test]
+    fn lltf_repeats_after_cp() {
+        let p = ht_mixed_preamble(&Mcs::from_index(7), 100, true);
+        // L-LTF occupies samples 160..320: 32 CP + 64 + 64.
+        for i in 0..64 {
+            assert!((p[192 + i] - p[256 + i]).abs() < 1e-12, "sample {i}");
+        }
+    }
+
+    #[test]
+    fn lsig_parity_is_even() {
+        for len in [0usize, 1, 100, 4095] {
+            let bits = lsig_bits(len);
+            assert_eq!(bits.len(), 24);
+            let ones = bits[..18].iter().filter(|&&b| b).count();
+            assert_eq!(ones % 2, 0, "length {len}");
+            assert!(bits[18..].iter().all(|&b| !b));
+        }
+    }
+
+    #[test]
+    fn htsig_encodes_mcs_and_length() {
+        let bits = htsig_bits(&Mcs::from_index(7), 0x1234, true);
+        let mcs_val = bits[..7]
+            .iter()
+            .enumerate()
+            .fold(0u8, |a, (i, &b)| a | ((b as u8) << i));
+        assert_eq!(mcs_val, 7);
+        let len_val = bits[8..24]
+            .iter()
+            .enumerate()
+            .fold(0usize, |a, (i, &b)| a | ((b as usize) << i));
+        assert_eq!(len_val, 0x1234);
+        assert!(bits[34], "SGI flag");
+    }
+
+    #[test]
+    fn htsig_differs_when_any_field_changes() {
+        let a = htsig_bits(&Mcs::from_index(7), 100, true);
+        assert_ne!(a, htsig_bits(&Mcs::from_index(5), 100, true));
+        assert_ne!(a, htsig_bits(&Mcs::from_index(7), 101, true));
+        assert_ne!(a, htsig_bits(&Mcs::from_index(7), 100, false));
+    }
+
+    #[test]
+    fn ht_sig_symbols_are_quadrature_bpsk() {
+        // QBPSK puts data energy on the imaginary axis; check the HT-SIG
+        // portion (samples 400..560) differs from a BPSK rendering.
+        let p = ht_mixed_preamble(&Mcs::from_index(7), 100, true);
+        let htsig = &p[400..560];
+        assert!(mean_power(htsig) > 0.005);
+        // QBPSK is a frequency-domain property: demodulate the first HT-SIG
+        // symbol (skip its 16-sample CP) and check data subcarriers sit on
+        // the imaginary axis while pilots stay real.
+        let spec = crate::ofdm::demodulate_symbol(&FftPlan::new(64), &htsig[16..80]);
+        for k in [-26i32, -10, 5, 26] {
+            let v = spec[bluefi_dsp::fft::bin_of_subcarrier(k, 64)];
+            assert!(v.re.abs() < 1e-9 && v.im.abs() > 0.5, "subcarrier {k}: {v:?}");
+        }
+        for k in [-21i32, -7, 7, 21] {
+            let v = spec[bluefi_dsp::fft::bin_of_subcarrier(k, 64)];
+            assert!(v.im.abs() < 1e-9 && v.re.abs() > 0.5, "pilot {k}: {v:?}");
+        }
+    }
+
+    #[test]
+    fn preamble_power_is_uniform_in_normalized_units() {
+        // 52-53 unit-power subcarriers through a 1/64 IFFT: ≈ 52/64² ≈ 0.0127
+        // in normalized units (the chip model scales by 1/K_MOD to match the
+        // data field).
+        let p = ht_mixed_preamble(&Mcs::from_index(7), 100, true);
+        let pw = mean_power(&p);
+        assert!(pw > 0.008 && pw < 0.03, "power {pw}");
+    }
+}

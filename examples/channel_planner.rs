@@ -1,0 +1,27 @@
+//! The Sec 2.6 frequency planner as a CLI: for every Bluetooth BR channel,
+//! which WiFi channel BlueFi would pick, where the signal lands, and the
+//! clearance to the nearest pilot/null.
+//!
+//! Run: `cargo run --release --example channel_planner`
+
+use bluefi::wifi::channels::{bt_channel_freq_hz, plan_channel};
+
+fn main() {
+    println!("bt ch   MHz    wifi ch   subcarrier   tx subcarrier  clearance");
+    for k in 0..=78u8 {
+        let f = bt_channel_freq_hz(k);
+        match plan_channel(f) {
+            None => println!("{k:>5}  {:>6.0}  (not coverable by any 2.4 GHz WiFi channel)", f / 1e6),
+            Some(p) => println!(
+                "{k:>5}  {:>6.0}  {:>7}   {:>+10.1}   {:>+13.1}  {:>9.1}",
+                f / 1e6,
+                p.wifi_channel,
+                p.subcarrier,
+                p.tx_subcarrier,
+                p.clearance
+            ),
+        }
+    }
+    println!("\nBLE advertising channels: 37 = 2402 (uncoverable), 38 = 2426 \
+              (WiFi ch 3), 39 = 2480 (WiFi ch 13, edge).");
+}

@@ -1,0 +1,51 @@
+//! Walk the paper's Sec 4.6 impairment ladder interactively: generate the
+//! waveform at each cumulative stage, look at its envelope/phase error and
+//! whether a Bluetooth receiver still takes it.
+//!
+//! Run: `cargo run --release --example impairment_explorer`
+
+use bluefi::bt::ble::{adv_air_bits, AdvPdu, AdvPduType};
+use bluefi::bt::receiver::{GfskReceiver, ReceiverConfig};
+use bluefi::core::pipeline::BlueFi;
+use bluefi::core::stages::{waveform_at_stage, Stage};
+use bluefi::dsp::bits::u64_to_bits_lsb;
+use bluefi::wifi::channels::plan_channel;
+use bluefi::wifi::subcarriers::SUBCARRIER_SPACING_HZ;
+
+fn main() {
+    let pdu = AdvPdu {
+        pdu_type: AdvPduType::AdvNonconnInd,
+        adv_address: [6, 5, 4, 3, 2, 1],
+        adv_data: (0..20).collect(),
+        tx_add: false,
+    };
+    let bits = adv_air_bits(&pdu, 38);
+    let bf = BlueFi::default();
+    let plan = plan_channel(2.426e9).unwrap();
+    let rx = GfskReceiver::new(ReceiverConfig {
+        channel_offset_hz: plan.subcarrier * SUBCARRIER_SPACING_HZ,
+        ..Default::default()
+    });
+    let aa = u64_to_bits_lsb(bluefi::bt::ble::ADV_ACCESS_ADDRESS as u64, 32);
+    println!("stage          env min/max        payload bit errors");
+    for stage in Stage::all() {
+        let wave = waveform_at_stage(&bf, &bits, plan, 71, stage);
+        let (mut lo, mut hi) = (f64::MAX, f64::MIN);
+        for v in &wave {
+            let a = v.abs();
+            lo = lo.min(a);
+            hi = hi.max(a);
+        }
+        let demod = rx.demodulate(&wave);
+        let errs = match rx.synchronize(&demod, &aa, bits.len()) {
+            None => "NO SYNC".to_string(),
+            Some(hit) => {
+                let truth = &bits[40..];
+                let n = truth.len().min(hit.bits.len());
+                let e = (0..n).filter(|&i| truth[i] != hit.bits[i]).count();
+                format!("{e}/{n}")
+            }
+        };
+        println!("{:<14} {:>6.3} / {:>6.3}     {}", stage.label(), lo, hi, errs);
+    }
+}

@@ -1,0 +1,81 @@
+//! Cross-crate integration for the audio path: PCM -> SBC -> L2CAP ->
+//! slot schedule -> BlueFi DH5 packets -> channel -> BR receiver -> PCM.
+
+use bluefi::apps::audio::{A2dpStreamer, AudioConfig};
+use bluefi::apps::l2cap::{parse_l2cap, MediaHeader};
+use bluefi::apps::sbc::{SbcCodec, SbcParams};
+use bluefi::bt::br::BrDecode;
+use bluefi::bt::receiver::{GfskReceiver, ReceiverConfig};
+use bluefi::sim::channel::{Channel, ChannelConfig};
+use bluefi::wifi::channels::{bt_channel_freq_hz, subcarrier_in_channel};
+use bluefi::wifi::subcarriers::SUBCARRIER_SPACING_HZ;
+use bluefi::wifi::ChipModel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn one_audio_packet_roundtrips_to_sbc_frames() {
+    let cfg = AudioConfig::default();
+    let mut streamer = A2dpStreamer::new(cfg.clone());
+    let pcm: Vec<f64> = (0..128 * 2)
+        .map(|i| (2.0 * std::f64::consts::PI * 440.0 * i as f64 / 44_100.0).sin() * 0.4)
+        .collect();
+    let media = streamer.media_packets(&pcm);
+    assert_eq!(media.len(), 2);
+    let sched = streamer.schedule(&media[..1], 0);
+    assert_eq!(sched.len(), 1, "one media packet fits one DH5");
+    let p = &sched[0];
+
+    // Through the air at close range.
+    let chip = ChipModel::rtl8811au();
+    let ppdu = chip.transmit_with_seed(&p.synthesis.psdu, p.synthesis.mcs, 18.0, 71);
+    let channel = Channel::new(ChannelConfig::office(0.5));
+    let mut rng = StdRng::seed_from_u64(0xAA);
+    let sc = subcarrier_in_channel(bt_channel_freq_hz(p.bt_channel), cfg.wifi_channel);
+    let rx = GfskReceiver::new(ReceiverConfig {
+        channel_offset_hz: sc * SUBCARRIER_SPACING_HZ,
+        ..Default::default()
+    });
+    let out = rx.receive_br(&channel.apply(&ppdu.iq, &mut rng), cfg.addr.lap, cfg.addr.uap, p.clk6_1);
+
+    match out.decode {
+        Some(BrDecode::Ok { payload, .. }) if payload == p.payload => {
+            // Unwrap L2CAP -> RTP -> SBC -> PCM.
+            let (cid, media_pkt) = parse_l2cap(&payload).expect("l2cap");
+            assert_eq!(cid, bluefi::apps::l2cap::A2DP_STREAM_CID);
+            let (hdr, sbc) = MediaHeader::parse(media_pkt).expect("media header");
+            assert_eq!(hdr.n_frames, 1);
+            let mut codec = SbcCodec::new(SbcParams::default());
+            let decoded = codec.decode_frame(sbc).expect("sbc frame");
+            assert_eq!(decoded.len(), 128);
+        }
+        other => {
+            // The simulated receiver has a residual BER; CRC errors are an
+            // acceptable outcome, silence is not.
+            assert!(
+                matches!(other, Some(BrDecode::CrcError { .. }) | Some(BrDecode::Ok { .. })),
+                "decode outcome {other:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn scheduler_honours_hopping_and_afh() {
+    let cfg = AudioConfig::default();
+    let streamer = A2dpStreamer::new(cfg.clone());
+    let frames: Vec<Vec<u8>> = (0..6).map(|i| vec![i as u8; 150]).collect();
+    let sched = streamer.schedule(&frames, 2_000);
+    assert_eq!(sched.len(), 6);
+    let map = bluefi::bt::hopping::ChannelMap::from_channels(
+        bluefi::wifi::channels::usable_bt_channels_in_wifi(cfg.wifi_channel),
+    );
+    let hop = bluefi::bt::hopping::HopSelector::new(cfg.addr.lap, cfg.addr.uap);
+    for p in &sched {
+        // The scheduled slot's hop must actually land on the packet's channel.
+        let clk = bluefi::bt::hopping::SlotClock::at_slot(p.slot);
+        assert_eq!(hop.channel(clk.clk, &map), p.bt_channel, "slot {}", p.slot);
+        // And the whitening clock must match the slot.
+        assert_eq!(p.clk6_1, clk.clk6_1());
+    }
+}

@@ -1,0 +1,78 @@
+//! Failure injection across the stack: noise sweeps degrade PER
+//! gracefully, wrong seeds and truncation fail loudly rather than wrongly.
+
+use bluefi::bt::ble::{adv_air_bits, AdvPdu, AdvPduType};
+use bluefi::core::pipeline::BlueFi;
+use bluefi::core::verify::{transmit, tuned_receiver};
+use bluefi::sim::channel::{Channel, ChannelConfig};
+use bluefi::wifi::ChipModel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn pdu() -> AdvPdu {
+    AdvPdu {
+        pdu_type: AdvPduType::AdvNonconnInd,
+        adv_address: [9, 9, 9, 9, 9, 9],
+        adv_data: (0..16).collect(),
+        tx_add: false,
+    }
+}
+
+#[test]
+fn sync_rate_degrades_monotonically_with_noise() {
+    let bits = adv_air_bits(&pdu(), 38);
+    let syn = BlueFi::default().synthesize(&bits, 2.426e9, 1).unwrap();
+    let ppdu = transmit(&syn, &ChipModel::ar9331(), 18.0);
+    let rx = tuned_receiver(&syn);
+    let mut rates = Vec::new();
+    for noise_dbm in [-90.0, -40.0, -15.0] {
+        let ch = Channel::new(ChannelConfig {
+            distance_m: 1.5,
+            noise_floor_dbm: noise_dbm,
+            shadowing_sigma_db: 0.0,
+            interference: None,
+            ..Default::default()
+        });
+        let mut rng = StdRng::seed_from_u64(42);
+        let got = (0..8)
+            .filter(|_| rx.receive_ble_adv(&ch.apply(&ppdu.iq, &mut rng), 38).rssi_dbm.is_some())
+            .count();
+        rates.push(got);
+    }
+    assert!(rates[0] >= rates[1] && rates[1] >= rates[2], "{rates:?}");
+    assert_eq!(rates[0], 8, "clean channel must always sync");
+    assert_eq!(rates[2], 0, "noise above the signal must kill sync");
+}
+
+#[test]
+fn truncated_psdu_does_not_decode() {
+    let bits = adv_air_bits(&pdu(), 38);
+    let syn = BlueFi::default().synthesize(&bits, 2.426e9, 1).unwrap();
+    let chip = ChipModel::ar9331();
+    // Drop the second half of the PSDU: the Bluetooth packet's tail (CRC)
+    // is gone, so the decode must not produce a valid packet.
+    let truncated = &syn.psdu[..syn.psdu.len() / 2];
+    let ppdu = chip.transmit_with_seed(truncated, syn.mcs, 18.0, 1);
+    let rx = tuned_receiver(&syn);
+    assert!(!rx.receive_ble_adv(&ppdu.iq, 38).ok());
+}
+
+#[test]
+fn cfo_beyond_spec_breaks_reception_gracefully() {
+    let bits = adv_air_bits(&pdu(), 38);
+    let syn = BlueFi::default().synthesize(&bits, 2.426e9, 1).unwrap();
+    let ppdu = transmit(&syn, &ChipModel::ar9331(), 18.0);
+    let rx = tuned_receiver(&syn);
+    let run = |cfo: f64| {
+        let ch = Channel::new(ChannelConfig {
+            cfo_hz: cfo,
+            shadowing_sigma_db: 0.0,
+            interference: None,
+            ..Default::default()
+        });
+        let mut rng = StdRng::seed_from_u64(7);
+        rx.receive_ble_adv(&ch.apply(&ppdu.iq, &mut rng), 38).rssi_dbm.is_some()
+    };
+    assert!(run(20e3), "in-spec CFO must be tolerated");
+    assert!(!run(600e3), "absurd CFO must not produce a phantom packet");
+}
