@@ -25,9 +25,8 @@ use bluefi_wifi::channels::{
     bt_channel_freq_hz, subcarrier_in_channel, usable_bt_channels_in_wifi, ChannelPlan,
 };
 use bluefi_wifi::subcarriers::SUBCARRIER_SPACING_HZ;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use serde::Serialize;
+use bluefi_core::json::{Json, ToJson};
+use bluefi_core::rng::{SeedableRng, StdRng};
 
 /// Audio-session configuration.
 #[derive(Debug, Clone)]
@@ -139,7 +138,7 @@ impl A2dpStreamer {
             self.sequence = self.sequence.wrapping_add(1);
             self.timestamp = self.timestamp.wrapping_add(spf as u32);
             let media = hdr.packetize(&frame);
-            out.push(l2cap_frame(A2DP_STREAM_CID, &media).to_vec());
+            out.push(l2cap_frame(A2DP_STREAM_CID, &media));
         }
         out
     }
@@ -211,7 +210,7 @@ impl A2dpStreamer {
 }
 
 /// FTS4BT-style packet classification (Figs 9 and 10).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SnifferCounts {
     /// Decoded with valid CRC.
     pub no_error: usize,
@@ -233,6 +232,17 @@ impl SnifferCounts {
             return 0.0;
         }
         1.0 - self.no_error as f64 / self.total() as f64
+    }
+}
+
+impl ToJson for SnifferCounts {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("no_error", Json::Num(self.no_error as f64)),
+            ("crc_error", Json::Num(self.crc_error as f64)),
+            ("header_error", Json::Num(self.header_error as f64)),
+            ("per", Json::Num(self.per())),
+        ])
     }
 }
 

@@ -2,12 +2,12 @@
 //! first end-to-end app: "an 802.11n-compliant AP is transformed into a
 //! Bluetooth beacon", controllable remotely).
 
-use bluefi_bt::ble::{adv_air_bits, AdvPdu, AdvPduType};
+use bluefi_bt::ble::{adv_air_bits, AdvChannel, AdvChannelError, AdvPdu, AdvPduType};
+use bluefi_core::json::{Json, JsonError, ToJson};
 use bluefi_core::pipeline::{BlueFi, Synthesis};
-use serde::{Deserialize, Serialize};
 
 /// The beacon payload formats in common deployment.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum BeaconFormat {
     /// Apple iBeacon: 16-byte proximity UUID + major/minor + calibrated TX
     /// power.
@@ -106,12 +106,101 @@ impl BeaconFormat {
             tx_add: true,
         }
     }
+
+    /// Parses a format back out of its [`ToJson`] representation.
+    pub fn from_json(v: &Json) -> Result<BeaconFormat, JsonError> {
+        let kind = v.get("type").and_then(Json::as_str).ok_or_else(|| bad("missing type"))?;
+        match kind {
+            "ibeacon" => Ok(BeaconFormat::IBeacon {
+                uuid: byte_array(v, "uuid")?,
+                major: num(v, "major")? as u16,
+                minor: num(v, "minor")? as u16,
+                measured_power: num(v, "measured_power")? as i8,
+            }),
+            "eddystone_uid" => Ok(BeaconFormat::EddystoneUid {
+                tx_power: num(v, "tx_power")? as i8,
+                namespace: byte_array(v, "namespace")?,
+                instance: byte_array(v, "instance")?,
+            }),
+            "eddystone_url" => Ok(BeaconFormat::EddystoneUrl {
+                tx_power: num(v, "tx_power")? as i8,
+                scheme: num(v, "scheme")? as u8,
+                body: byte_vec(v, "body")?,
+            }),
+            "altbeacon" => Ok(BeaconFormat::AltBeacon {
+                mfg_id: num(v, "mfg_id")? as u16,
+                beacon_id: byte_array(v, "beacon_id")?,
+                reference_rssi: num(v, "reference_rssi")? as i8,
+            }),
+            other => Err(bad(&format!("unknown beacon format '{other}'"))),
+        }
+    }
+}
+
+fn bad(message: &str) -> JsonError {
+    JsonError { message: message.to_string(), offset: 0 }
+}
+
+fn num(v: &Json, key: &str) -> Result<f64, JsonError> {
+    v.get(key).and_then(Json::as_f64).ok_or_else(|| bad(&format!("missing number '{key}'")))
+}
+
+fn byte_vec(v: &Json, key: &str) -> Result<Vec<u8>, JsonError> {
+    v.get(key)
+        .and_then(Json::as_arr)
+        .ok_or_else(|| bad(&format!("missing array '{key}'")))?
+        .iter()
+        .map(|e| e.as_f64().map(|n| n as u8).ok_or_else(|| bad("non-numeric byte")))
+        .collect()
+}
+
+fn byte_array<const N: usize>(v: &Json, key: &str) -> Result<[u8; N], JsonError> {
+    let bytes = byte_vec(v, key)?;
+    bytes
+        .try_into()
+        .map_err(|_| bad(&format!("'{key}' must hold exactly {N} bytes")))
+}
+
+fn json_bytes(bytes: &[u8]) -> Json {
+    Json::Arr(bytes.iter().map(|&b| Json::Num(b as f64)).collect())
+}
+
+impl ToJson for BeaconFormat {
+    fn to_json(&self) -> Json {
+        match self {
+            BeaconFormat::IBeacon { uuid, major, minor, measured_power } => Json::obj(vec![
+                ("type", Json::Str("ibeacon".into())),
+                ("uuid", json_bytes(uuid)),
+                ("major", Json::Num(*major as f64)),
+                ("minor", Json::Num(*minor as f64)),
+                ("measured_power", Json::Num(*measured_power as f64)),
+            ]),
+            BeaconFormat::EddystoneUid { tx_power, namespace, instance } => Json::obj(vec![
+                ("type", Json::Str("eddystone_uid".into())),
+                ("tx_power", Json::Num(*tx_power as f64)),
+                ("namespace", json_bytes(namespace)),
+                ("instance", json_bytes(instance)),
+            ]),
+            BeaconFormat::EddystoneUrl { tx_power, scheme, body } => Json::obj(vec![
+                ("type", Json::Str("eddystone_url".into())),
+                ("tx_power", Json::Num(*tx_power as f64)),
+                ("scheme", Json::Num(*scheme as f64)),
+                ("body", json_bytes(body)),
+            ]),
+            BeaconFormat::AltBeacon { mfg_id, beacon_id, reference_rssi } => Json::obj(vec![
+                ("type", Json::Str("altbeacon".into())),
+                ("mfg_id", Json::Num(*mfg_id as f64)),
+                ("beacon_id", json_bytes(beacon_id)),
+                ("reference_rssi", Json::Num(*reference_rssi as f64)),
+            ]),
+        }
+    }
 }
 
 /// Remotely-configurable beacon service state (the paper controls BlueFi
 /// over SSH "from either the Internet … local Ethernet or WiFi" — this is
 /// the serializable config such a control plane would push).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BeaconConfig {
     /// Beacon payload.
     pub format: BeaconFormat,
@@ -124,6 +213,37 @@ pub struct BeaconConfig {
     pub channels: Vec<u8>,
     /// Running?
     pub enabled: bool,
+}
+
+impl ToJson for BeaconConfig {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("format", self.format.to_json()),
+            ("adv_address", json_bytes(&self.adv_address)),
+            ("rate_hz", Json::Num(self.rate_hz)),
+            ("channels", json_bytes(&self.channels)),
+            ("enabled", Json::Bool(self.enabled)),
+        ])
+    }
+}
+
+impl BeaconConfig {
+    /// Parses the config a control plane pushed as JSON text.
+    pub fn from_json_text(text: &str) -> Result<BeaconConfig, JsonError> {
+        let v = Json::parse(text)?;
+        Ok(BeaconConfig {
+            format: BeaconFormat::from_json(
+                v.get("format").ok_or_else(|| bad("missing format"))?,
+            )?,
+            adv_address: byte_array(&v, "adv_address")?,
+            rate_hz: num(&v, "rate_hz")?,
+            channels: byte_vec(&v, "channels")?,
+            enabled: v
+                .get("enabled")
+                .and_then(Json::as_bool)
+                .ok_or_else(|| bad("missing enabled"))?,
+        })
+    }
 }
 
 impl Default for BeaconConfig {
@@ -154,22 +274,25 @@ pub struct BeaconPackets {
 
 /// Synthesizes the configured beacon for every requested advertising
 /// channel. `seed` is the scrambler seed the chip will apply.
-pub fn build_beacon(cfg: &BeaconConfig, bf: &BlueFi, seed: u8) -> BeaconPackets {
+///
+/// Channels outside 37..=39 are rejected (a control plane pushing configs
+/// over the network must not be able to panic the AP); valid channels no
+/// WiFi channel covers (BLE 37 / 2402 MHz) are silently skipped.
+pub fn build_beacon(
+    cfg: &BeaconConfig,
+    bf: &BlueFi,
+    seed: u8,
+) -> Result<BeaconPackets, AdvChannelError> {
     let pdu = cfg.format.to_pdu(cfg.adv_address);
     let mut per_channel = Vec::new();
     for &ch in &cfg.channels {
-        let freq = match ch {
-            37 => 2.402e9,
-            38 => 2.426e9,
-            39 => 2.480e9,
-            other => panic!("advertising channel 37..=39, got {other}"),
-        };
-        let bits = adv_air_bits(&pdu, ch);
-        if let Some(syn) = bf.synthesize(&bits, freq, seed) {
-            per_channel.push((ch, syn));
+        let adv = AdvChannel::new(ch)?;
+        let bits = adv_air_bits(&pdu, adv.index());
+        if let Some(syn) = bf.synthesize(&bits, adv.freq_hz(), seed) {
+            per_channel.push((adv.index(), syn));
         }
     }
-    BeaconPackets { per_channel }
+    Ok(BeaconPackets { per_channel })
 }
 
 #[cfg(test)]
@@ -249,20 +372,37 @@ mod tests {
     fn build_beacon_skips_uncoverable_channels() {
         let mut cfg = BeaconConfig::default();
         cfg.channels = vec![37, 38, 39];
-        let packets = build_beacon(&cfg, &BlueFi::default(), 71);
+        let packets = build_beacon(&cfg, &BlueFi::default(), 71).unwrap();
         let chans: Vec<u8> = packets.per_channel.iter().map(|(c, _)| *c).collect();
         // 37 (2402 MHz) cannot be planned; 38 and 39 can.
         assert_eq!(chans, vec![38, 39]);
     }
 
     #[test]
-    fn config_roundtrips_through_serde_json_like() {
-        // serde is wired for the remote-control plane; spot-check Debug/
-        // clone semantics and field defaults.
-        let cfg = BeaconConfig::default();
-        assert!(cfg.enabled);
-        assert_eq!(cfg.channels, vec![38, 39]);
-        let cloned = cfg.clone();
-        assert_eq!(format!("{:?}", cfg.format), format!("{:?}", cloned.format));
+    fn build_beacon_rejects_out_of_range_channels() {
+        let mut cfg = BeaconConfig::default();
+        cfg.channels = vec![38, 40];
+        let err = build_beacon(&cfg, &BlueFi::default(), 71).unwrap_err();
+        assert_eq!(err, bluefi_bt::ble::AdvChannelError(40));
+    }
+
+    #[test]
+    fn config_roundtrips_through_json() {
+        // The remote-control plane pushes configs as JSON text; every
+        // format must survive the render → parse round trip.
+        let formats = [
+            BeaconFormat::IBeacon { uuid: [7; 16], major: 700, minor: 7, measured_power: -59 },
+            BeaconFormat::EddystoneUid { tx_power: -4, namespace: [3; 10], instance: [9; 6] },
+            BeaconFormat::EddystoneUrl { tx_power: 0, scheme: 1, body: b"bluefi.io".to_vec() },
+            BeaconFormat::AltBeacon { mfg_id: 0x0118, beacon_id: [5; 20], reference_rssi: -65 },
+        ];
+        for format in formats {
+            let cfg = BeaconConfig { format, ..Default::default() };
+            let text = cfg.to_json().render();
+            let back = BeaconConfig::from_json_text(&text).unwrap();
+            assert_eq!(back, cfg, "{text}");
+        }
+        assert!(BeaconConfig::from_json_text("{}").is_err());
+        assert!(BeaconConfig::from_json_text("not json").is_err());
     }
 }

@@ -3,18 +3,16 @@
 //! audio path exercises: basic-mode B-frames and the RTP-style media packet
 //! header AVDTP wraps SBC frames in.
 
-use bytes::{BufMut, Bytes, BytesMut};
-
 /// The dynamic CID an A2DP stream channel typically lands on.
 pub const A2DP_STREAM_CID: u16 = 0x0041;
 
 /// Builds an L2CAP basic-information frame.
-pub fn l2cap_frame(cid: u16, payload: &[u8]) -> Bytes {
-    let mut b = BytesMut::with_capacity(4 + payload.len());
-    b.put_u16_le(payload.len() as u16);
-    b.put_u16_le(cid);
-    b.put_slice(payload);
-    b.freeze()
+pub fn l2cap_frame(cid: u16, payload: &[u8]) -> Vec<u8> {
+    let mut b = Vec::with_capacity(4 + payload.len());
+    b.extend_from_slice(&(payload.len() as u16).to_le_bytes());
+    b.extend_from_slice(&cid.to_le_bytes());
+    b.extend_from_slice(payload);
+    b
 }
 
 /// Parses an L2CAP frame; returns `(cid, payload)` when the length field is
@@ -47,17 +45,17 @@ pub struct MediaHeader {
 
 impl MediaHeader {
     /// Serializes header + payload into the media packet.
-    pub fn packetize(&self, sbc_frames: &[u8]) -> Bytes {
+    pub fn packetize(&self, sbc_frames: &[u8]) -> Vec<u8> {
         assert!((1..=15).contains(&self.n_frames));
-        let mut b = BytesMut::with_capacity(13 + sbc_frames.len());
-        b.put_u8(0x80); // V=2
-        b.put_u8(96); // dynamic payload type
-        b.put_u16(self.sequence);
-        b.put_u32(self.timestamp);
-        b.put_u32(self.ssrc);
-        b.put_u8(self.n_frames & 0x0F);
-        b.put_slice(sbc_frames);
-        b.freeze()
+        let mut b = Vec::with_capacity(13 + sbc_frames.len());
+        b.push(0x80); // V=2
+        b.push(96); // dynamic payload type
+        b.extend_from_slice(&self.sequence.to_be_bytes());
+        b.extend_from_slice(&self.timestamp.to_be_bytes());
+        b.extend_from_slice(&self.ssrc.to_be_bytes());
+        b.push(self.n_frames & 0x0F);
+        b.extend_from_slice(sbc_frames);
+        b
     }
 
     /// Parses a media packet back into header + SBC bytes.
@@ -100,7 +98,7 @@ mod tests {
 
     #[test]
     fn l2cap_length_mismatch_rejected() {
-        let mut f = l2cap_frame(0x40, &[1, 2, 3]).to_vec();
+        let mut f = l2cap_frame(0x40, &[1, 2, 3]);
         f.push(0xFF); // extra byte
         assert!(parse_l2cap(&f).is_none());
         assert!(parse_l2cap(&f[..2]).is_none());

@@ -1,0 +1,80 @@
+//! Randomized-property tests for the application-layer framing, on the
+//! in-tree `bluefi_core::check` harness.
+
+use bluefi_apps::l2cap::{fragment, l2cap_frame, parse_l2cap, MediaHeader};
+use bluefi_core::check::{bytes, check};
+use bluefi_core::rng::Rng;
+use bluefi_core::{prop_assert, prop_assert_eq};
+
+#[test]
+fn l2cap_roundtrip_any_payload() {
+    check(
+        "l2cap_roundtrip_any_payload",
+        |rng| (rng.gen::<u16>(), bytes(rng, 0..600)),
+        |(cid, payload)| {
+            let f = l2cap_frame(*cid, payload);
+            prop_assert_eq!(f.len(), 4 + payload.len());
+            let (got_cid, got) = parse_l2cap(&f).ok_or("parse failed")?;
+            prop_assert_eq!(got_cid, *cid);
+            prop_assert_eq!(got, &payload[..]);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn l2cap_rejects_any_truncation_or_padding() {
+    check(
+        "l2cap_rejects_any_truncation_or_padding",
+        |rng| (bytes(rng, 1..100), rng.gen_range(0usize..2)),
+        |(payload, pad)| {
+            let mut f = l2cap_frame(0x40, payload);
+            if *pad == 1 {
+                f.push(0xFF);
+            } else {
+                f.pop();
+            }
+            prop_assert!(parse_l2cap(&f).is_none());
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn media_header_roundtrip_any_fields() {
+    check(
+        "media_header_roundtrip_any_fields",
+        |rng| {
+            let h = MediaHeader {
+                sequence: rng.gen(),
+                timestamp: rng.gen(),
+                ssrc: rng.gen(),
+                n_frames: rng.gen_range(1u8..16),
+            };
+            (h, bytes(rng, 0..300))
+        },
+        |(h, sbc)| {
+            let pkt = h.packetize(sbc);
+            let (got, body) = MediaHeader::parse(&pkt).ok_or("parse failed")?;
+            prop_assert_eq!(got, *h);
+            prop_assert_eq!(body, &sbc[..]);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn fragmentation_reassembles_exactly() {
+    check(
+        "fragmentation_reassembles_exactly",
+        |rng| (bytes(rng, 0..700), rng.gen_range(1usize..200)),
+        |(data, max_chunk)| {
+            let chunks = fragment(data, *max_chunk);
+            for c in &chunks {
+                prop_assert!(!c.is_empty() && c.len() <= *max_chunk);
+            }
+            prop_assert_eq!(chunks.concat(), *data);
+            Ok(())
+        },
+    );
+}

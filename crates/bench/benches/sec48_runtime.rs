@@ -5,10 +5,14 @@
 //! The paper: Python 2.60 s/packet (FEC 2.39 s), C 46.88 ms, real-time
 //! decoder + FFTW ≈ 0.954 ms — a ~50x decoder speedup with FEC dominating
 //! everywhere. Absolute numbers differ here; the *ratios* are the result.
+//!
+//! Run: `cargo bench -p bluefi-bench` (the harness is a plain
+//! `std::time::Instant` loop — `harness = false` — so the hermetic build
+//! needs no criterion).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use bluefi_bench::{bench_fn, print_table, BenchResult};
 use bluefi_bt::ble::{adv_air_bits, AdvPdu, AdvPduType};
 use bluefi_bt::gfsk::{modulate_phase, GfskParams};
 use bluefi_coding::lfsr::scramble;
@@ -18,6 +22,8 @@ use bluefi_core::qam::{Quantizer, ScaleMode, DEFAULT_SCALE};
 use bluefi_core::reversal::{coded_stream, reverse_fec, DecodeStrategy, WeightProfile};
 use bluefi_wifi::channels::ChannelPlan;
 use bluefi_wifi::Modulation;
+
+const SAMPLES: usize = 10;
 
 fn beacon_bits() -> Vec<bool> {
     let pdu = AdvPdu {
@@ -29,30 +35,27 @@ fn beacon_bits() -> Vec<bool> {
     adv_air_bits(&pdu, 38)
 }
 
-fn bench_stages(c: &mut Criterion) {
+fn main() {
     let gfsk = GfskParams::default();
     let bits = beacon_bits();
     let offset_hz = 13.0 * bluefi_wifi::subcarriers::SUBCARRIER_SPACING_HZ;
     let cp = CpCompat::sgi();
+    let mut results: Vec<BenchResult> = Vec::new();
 
-    c.bench_function("stage1_iq_generation", |b| {
-        b.iter(|| {
-            let phase = modulate_phase(black_box(&bits), &gfsk, offset_hz);
-            black_box(cp.make_compatible(&phase, offset_hz / gfsk.sample_rate_hz))
-        })
-    });
+    results.push(bench_fn("stage1_iq_generation", SAMPLES, || {
+        let phase = modulate_phase(black_box(&bits), &gfsk, offset_hz);
+        black_box(cp.make_compatible(&phase, offset_hz / gfsk.sample_rate_hz))
+    }));
 
     let phase = modulate_phase(&bits, &gfsk, offset_hz);
     let theta = cp.make_compatible(&phase, offset_hz / gfsk.sample_rate_hz);
     let bodies = cp.strip_cp(&theta);
     let quant = Quantizer::new(Modulation::Qam64, ScaleMode::Fixed(DEFAULT_SCALE));
-    c.bench_function("stage2_fft_qam", |b| {
-        b.iter(|| {
-            for body in &bodies {
-                black_box(quant.quantize_body(black_box(body)));
-            }
-        })
-    });
+    results.push(bench_fn("stage2_fft_qam", SAMPLES, || {
+        for body in &bodies {
+            black_box(quant.quantize_body(black_box(body)));
+        }
+    }));
 
     // FEC reversal, both ways, on realistic symbol counts.
     let mk_coded = |strategy: DecodeStrategy| {
@@ -62,32 +65,28 @@ fn bench_stages(c: &mut Criterion) {
         coded_stream(&symbols, mcs, 13.0, &WeightProfile::default())
     };
     let (coded56, weights56) = mk_coded(DecodeStrategy::WeightedViterbi);
-    c.bench_function("stage3_fec_weighted_viterbi", |b| {
-        b.iter(|| {
-            black_box(reverse_fec(
-                black_box(&coded56),
-                &weights56,
-                DecodeStrategy::WeightedViterbi,
-                13.0,
-            ))
-        })
-    });
+    results.push(bench_fn("stage3_fec_weighted_viterbi", SAMPLES, || {
+        black_box(reverse_fec(
+            black_box(&coded56),
+            &weights56,
+            DecodeStrategy::WeightedViterbi,
+            13.0,
+        ))
+    }));
     let (coded23, weights23) = mk_coded(DecodeStrategy::Realtime);
-    c.bench_function("stage3_fec_realtime", |b| {
-        b.iter(|| {
-            black_box(reverse_fec(
-                black_box(&coded23),
-                &weights23,
-                DecodeStrategy::Realtime,
-                13.0,
-            ))
-        })
-    });
+    results.push(bench_fn("stage3_fec_realtime", SAMPLES, || {
+        black_box(reverse_fec(
+            black_box(&coded23),
+            &weights23,
+            DecodeStrategy::Realtime,
+            13.0,
+        ))
+    }));
 
     let data: Vec<bool> = (0..coded56.len() * 5 / 6).map(|i| i % 3 == 0).collect();
-    c.bench_function("stage4_scrambler", |b| {
-        b.iter(|| black_box(scramble(71, black_box(&data))))
-    });
+    results.push(bench_fn("stage4_scrambler", SAMPLES, || {
+        black_box(scramble(71, black_box(&data)))
+    }));
 
     // End to end, both strategies.
     let plan = ChannelPlan::pinned(3, 13.0);
@@ -96,15 +95,34 @@ fn bench_stages(c: &mut Criterion) {
         ("end_to_end_realtime", DecodeStrategy::Realtime),
     ] {
         let bf = BlueFi { strategy, ..Default::default() };
-        c.bench_function(name, |b| {
-            b.iter(|| black_box(bf.synthesize_at(black_box(&bits), plan, 71)))
-        });
+        results.push(bench_fn(name, SAMPLES, || {
+            black_box(bf.synthesize_at(black_box(&bits), plan, 71))
+        }));
     }
-}
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_stages
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.clone(),
+                format!("{:.4}", r.median_ms()),
+                format!("{:.4}", r.mean_ms()),
+                format!("{}", r.samples_ms.len()),
+            ]
+        })
+        .collect();
+    print_table(
+        "Sec 4.8 — per-stage runtime (ms/iter)",
+        &["stage", "median", "mean", "samples"],
+        &rows,
+    );
+
+    // The paper's headline ratio: the real-time decoder is far cheaper
+    // than the weighted Viterbi.
+    let med = |name: &str| {
+        results.iter().find(|r| r.name == name).map(|r| r.median_ms()).unwrap_or(f64::NAN)
+    };
+    let speedup = med("stage3_fec_weighted_viterbi") / med("stage3_fec_realtime");
+    println!("\nFEC reversal speedup (weighted Viterbi / real-time): {speedup:.1}x");
+    println!("paper: ~50x decoder speedup; FEC dominates every pipeline.");
 }
-criterion_main!(benches);

@@ -6,8 +6,7 @@
 use bluefi_bench::{arg_usize, print_table};
 use bluefi_dsp::power::{percentile, std_dev};
 use bluefi_sim::mac::fig7b_scenarios;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use bluefi_core::rng::{SeedableRng, StdRng};
 
 fn main() {
     let duration = arg_usize("--duration", 120);

@@ -1,7 +1,8 @@
 //! # bluefi-bench
 //!
 //! One binary per table/figure of the paper's evaluation (see DESIGN.md's
-//! experiment index), plus criterion benches for the Sec 4.8 runtime table.
+//! experiment index), plus `Instant`-based benches for the Sec 4.8 runtime
+//! table.
 //! Every binary prints the rows/series the paper reports; EXPERIMENTS.md
 //! records paper-vs-measured.
 
@@ -51,17 +52,79 @@ pub fn summarize(series: &[f64]) -> String {
 
 /// Parses `--key value` style CLI overrides (tiny, no clap dependency).
 pub fn arg_f64(name: &str, default: f64) -> f64 {
-    let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
+    arg_value(name).and_then(|v| v.parse().ok()).unwrap_or(default)
 }
 
 /// Integer variant of [`arg_f64`].
+///
+/// Parses the value as an integer directly (no `f64` round trip, so
+/// values above 2^53 survive exactly); scientific notation like `1e3` is
+/// accepted when it denotes an integer that fits without loss.
 pub fn arg_usize(name: &str, default: usize) -> usize {
-    arg_f64(name, default as f64) as usize
+    arg_value(name).and_then(|v| parse_usize(&v)).unwrap_or(default)
+}
+
+fn arg_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+}
+
+fn parse_usize(text: &str) -> Option<usize> {
+    if let Ok(v) = text.parse::<usize>() {
+        return Some(v);
+    }
+    // `1e3`-style input: accept only when the float is an exactly
+    // representable non-negative integer (|v| <= 2^53).
+    let f = text.parse::<f64>().ok()?;
+    if f.is_finite() && f >= 0.0 && f == f.trunc() && f <= (1u64 << 53) as f64 {
+        Some(f as usize)
+    } else {
+        None
+    }
+}
+
+/// One timed benchmark result from [`bench_fn`].
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Benchmark label.
+    pub name: String,
+    /// Per-iteration wall time, milliseconds, one entry per sample.
+    pub samples_ms: Vec<f64>,
+}
+
+impl BenchResult {
+    /// Median per-iteration time, ms.
+    pub fn median_ms(&self) -> f64 {
+        median(&self.samples_ms)
+    }
+
+    /// Mean per-iteration time, ms.
+    pub fn mean_ms(&self) -> f64 {
+        mean(&self.samples_ms)
+    }
+}
+
+/// Times `f` with a warm-up pass and `samples` timed samples — the
+/// hermetic stand-in for criterion's `bench_function` (std `Instant`
+/// only; no registry dependency).
+pub fn bench_fn<T>(name: &str, samples: usize, mut f: impl FnMut() -> T) -> BenchResult {
+    use std::time::Instant;
+    // Warm-up: one untimed call, then calibrate iterations so each sample
+    // runs long enough for the clock (≥ ~2 ms per sample).
+    let start = Instant::now();
+    std::hint::black_box(f());
+    let once = start.elapsed().as_secs_f64();
+    let iters = (2e-3 / once.max(1e-9)).ceil().clamp(1.0, 10_000.0) as usize;
+    let samples_ms = (0..samples.max(1))
+        .map(|_| {
+            let t = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            t.elapsed().as_secs_f64() * 1e3 / iters as f64
+        })
+        .collect();
+    BenchResult { name: name.to_string(), samples_ms }
 }
 
 #[cfg(test)]
@@ -73,5 +136,30 @@ mod tests {
         let s = summarize(&[1.0, 2.0, 3.0]);
         assert!(s.contains("n=3"));
         assert_eq!(summarize(&[]), "(no data)");
+    }
+
+    #[test]
+    fn parse_usize_is_exact_and_accepts_scientific() {
+        // Above 2^53: a float round trip would corrupt this.
+        assert_eq!(parse_usize("9007199254740993"), Some(9_007_199_254_740_993));
+        assert_eq!(parse_usize("18446744073709551615"), Some(usize::MAX));
+        assert_eq!(parse_usize("0"), Some(0));
+        // Scientific notation denoting exact integers.
+        assert_eq!(parse_usize("1e3"), Some(1000));
+        assert_eq!(parse_usize("2.5e1"), Some(25));
+        // Lossy or invalid inputs are rejected, not silently truncated.
+        assert_eq!(parse_usize("1.5"), None);
+        assert_eq!(parse_usize("-4"), None);
+        assert_eq!(parse_usize("1e300"), None);
+        assert_eq!(parse_usize("NaN"), None);
+        assert_eq!(parse_usize("ten"), None);
+    }
+
+    #[test]
+    fn bench_fn_produces_positive_samples() {
+        let r = bench_fn("spin", 3, || (0..1000).sum::<u64>());
+        assert_eq!(r.samples_ms.len(), 3);
+        assert!(r.median_ms() >= 0.0);
+        assert!(r.mean_ms() < 1e3);
     }
 }

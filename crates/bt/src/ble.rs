@@ -12,6 +12,57 @@ use bluefi_dsp::bits::{bits_to_bytes_lsb, bytes_to_bits_lsb, u64_to_bits_lsb};
 /// The advertising-channel access address.
 pub const ADV_ACCESS_ADDRESS: u32 = 0x8E89BED6;
 
+/// A validated BLE advertising channel (37, 38 or 39).
+///
+/// The one place the "advertising channel must be 37..=39" rule lives —
+/// construction returns `Err` on anything else instead of every consumer
+/// re-implementing (and panicking on) the same match.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdvChannel(u8);
+
+/// The error for an out-of-range advertising channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdvChannelError(
+    /// The rejected channel index.
+    pub u8,
+);
+
+impl std::fmt::Display for AdvChannelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "advertising channel must be 37..=39, got {}", self.0)
+    }
+}
+
+impl std::error::Error for AdvChannelError {}
+
+impl AdvChannel {
+    /// All three advertising channels, in index order.
+    pub const ALL: [AdvChannel; 3] = [AdvChannel(37), AdvChannel(38), AdvChannel(39)];
+
+    /// Validates a channel index.
+    pub fn new(index: u8) -> Result<AdvChannel, AdvChannelError> {
+        if (37..=39).contains(&index) {
+            Ok(AdvChannel(index))
+        } else {
+            Err(AdvChannelError(index))
+        }
+    }
+
+    /// The channel index (37, 38 or 39).
+    pub fn index(self) -> u8 {
+        self.0
+    }
+
+    /// The channel's carrier frequency in Hz (2402 / 2426 / 2480 MHz).
+    pub fn freq_hz(self) -> f64 {
+        match self.0 {
+            37 => 2.402e9,
+            38 => 2.426e9,
+            _ => 2.480e9,
+        }
+    }
+}
+
 /// Advertising PDU types (subset relevant to beacons).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AdvPduType {

@@ -16,5 +16,6 @@ pub mod gfsk;
 pub mod hopping;
 pub mod receiver;
 
+pub use ble::{AdvChannel, AdvChannelError};
 pub use gfsk::GfskParams;
 pub use receiver::{GfskReceiver, ReceiverConfig};

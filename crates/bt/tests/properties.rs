@@ -1,80 +1,141 @@
-//! Property-based tests for Bluetooth packet formats and hopping.
+//! Randomized-property tests for Bluetooth packet formats and hopping, on
+//! the in-tree `bluefi_core::check` harness.
 
-use bluefi_bt::ble::{adv_air_bits, adv_decode, AdvDecode, AdvPdu, AdvPduType};
+use bluefi_bt::ble::{adv_air_bits, adv_decode, AdvChannel, AdvDecode, AdvPdu, AdvPduType};
 use bluefi_bt::br::{br_air_bits, br_decode, BrDecode, BrHeader, BtAddress, PacketType};
 use bluefi_bt::gfsk::{modulate_iq, GfskParams};
 use bluefi_bt::hopping::{ChannelMap, HopSelector, SlotClock};
-use proptest::prelude::*;
+use bluefi_core::check::{bools, bytes, check_n, vec_with};
+use bluefi_core::rng::{Rng, StdRng};
+use bluefi_core::{prop_assert, prop_assert_eq};
 
-fn arb_ptype() -> impl Strategy<Value = PacketType> {
-    prop::sample::select(vec![
+const CASES: usize = 24;
+
+fn arb_ptype(rng: &mut StdRng) -> PacketType {
+    let all = [
         PacketType::Dm1,
         PacketType::Dh1,
         PacketType::Dm3,
         PacketType::Dh3,
         PacketType::Dm5,
         PacketType::Dh5,
-    ])
+    ];
+    all[rng.gen_range(0usize..all.len())]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn ble_adv_roundtrip(
-        addr in prop::array::uniform6(any::<u8>()),
-        data in prop::collection::vec(any::<u8>(), 0..=31),
-        ch in 37u8..=39,
-    ) {
-        let pdu = AdvPdu {
-            pdu_type: AdvPduType::AdvNonconnInd,
-            adv_address: addr,
-            adv_data: data,
-            tx_add: false,
-        };
-        let bits = adv_air_bits(&pdu, ch);
-        prop_assert_eq!(adv_decode(&bits[40..], ch), AdvDecode::Ok(pdu));
-    }
-
-    #[test]
-    fn br_roundtrip(
-        lap in 0u32..(1 << 24),
-        uap in any::<u8>(),
-        clk in 0u8..64,
-        ptype in arb_ptype(),
-        len_frac in 0.0f64..1.0,
-    ) {
-        let addr = BtAddress { lap, uap, nap: 0 };
-        let n = 1 + (len_frac * (ptype.max_payload() - 1) as f64) as usize;
-        let payload: Vec<u8> = (0..n).map(|i| (i * 31 + 7) as u8).collect();
-        let header = BrHeader { lt_addr: 1, ptype, flow: true, arqn: false, seqn: true };
-        let bits = br_air_bits(addr, &header, &payload, clk);
-        prop_assert!(bits.len() <= bluefi_bt::br::max_air_bits(ptype.slots()));
-        match br_decode(&bits[72..], uap, clk) {
-            BrDecode::Ok { header: h, payload: p } => {
-                prop_assert_eq!(h, header);
-                prop_assert_eq!(p, payload);
+#[test]
+fn ble_adv_roundtrip() {
+    check_n(
+        "ble_adv_roundtrip",
+        CASES,
+        |rng| {
+            let mut addr = [0u8; 6];
+            for b in &mut addr {
+                *b = rng.gen();
             }
-            other => prop_assert!(false, "decode failed: {:?}", other),
-        }
-    }
+            (addr, bytes(rng, 0..32), rng.gen_range(37u8..40))
+        },
+        |(addr, data, ch)| {
+            let pdu = AdvPdu {
+                pdu_type: AdvPduType::AdvNonconnInd,
+                adv_address: *addr,
+                adv_data: data.clone(),
+                tx_add: false,
+            };
+            let bits = adv_air_bits(&pdu, *ch);
+            prop_assert_eq!(adv_decode(&bits[40..], *ch), AdvDecode::Ok(pdu));
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn gfsk_is_constant_envelope(bits in prop::collection::vec(any::<bool>(), 1..64), off in -5e6f64..5e6) {
-        for v in modulate_iq(&bits, &GfskParams::default(), off) {
-            prop_assert!((v.abs() - 1.0).abs() < 1e-9);
-        }
-    }
+#[test]
+fn br_roundtrip() {
+    check_n(
+        "br_roundtrip",
+        CASES,
+        |rng| {
+            (
+                rng.gen_range(0u32..1 << 24),
+                rng.gen::<u8>(),
+                rng.gen_range(0u8..64),
+                arb_ptype(rng),
+                rng.next_f64(),
+            )
+        },
+        |&(lap, uap, clk, ptype, len_frac)| {
+            let addr = BtAddress { lap, uap, nap: 0 };
+            let n = 1 + (len_frac * (ptype.max_payload() - 1) as f64) as usize;
+            let payload: Vec<u8> = (0..n).map(|i| (i * 31 + 7) as u8).collect();
+            let header = BrHeader { lt_addr: 1, ptype, flow: true, arqn: false, seqn: true };
+            let bits = br_air_bits(addr, &header, &payload, clk);
+            prop_assert!(bits.len() <= bluefi_bt::br::max_air_bits(ptype.slots()));
+            match br_decode(&bits[72..], uap, clk) {
+                BrDecode::Ok { header: h, payload: p } => {
+                    prop_assert_eq!(h, header);
+                    prop_assert_eq!(p, payload);
+                }
+                other => prop_assert!(false, "decode failed: {:?}", other),
+            }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn afh_always_lands_in_map(
-        lap in 0u32..(1 << 24),
-        channels in prop::collection::btree_set(0u8..79, 1..30),
-        slot in 0u32..100_000,
-    ) {
-        let map = ChannelMap::from_channels(channels.into_iter().collect());
-        let hop = HopSelector::new(lap, 0x42);
-        let ch = hop.channel(SlotClock::at_slot(slot).clk, &map);
-        prop_assert!(map.contains(ch));
-    }
+#[test]
+fn gfsk_is_constant_envelope() {
+    check_n(
+        "gfsk_is_constant_envelope",
+        CASES,
+        |rng| (bools(rng, 1..64), rng.gen_range(-5e6..5e6)),
+        |(bits, off)| {
+            for v in modulate_iq(bits, &GfskParams::default(), *off) {
+                prop_assert!((v.abs() - 1.0).abs() < 1e-9);
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn afh_always_lands_in_map() {
+    check_n(
+        "afh_always_lands_in_map",
+        CASES,
+        |rng| {
+            let channels: std::collections::BTreeSet<u8> =
+                vec_with(rng, 1..30, |r| r.gen_range(0u8..79)).into_iter().collect();
+            (rng.gen_range(0u32..1 << 24), channels, rng.gen_range(0u32..100_000))
+        },
+        |(lap, channels, slot)| {
+            let map = ChannelMap::from_channels(channels.iter().copied().collect());
+            let hop = HopSelector::new(*lap, 0x42);
+            let ch = hop.channel(SlotClock::at_slot(*slot).clk, &map);
+            prop_assert!(map.contains(ch));
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn adv_channel_validation() {
+    check_n(
+        "adv_channel_validation",
+        64,
+        |rng| rng.gen::<u8>(),
+        |&ch| {
+            match AdvChannel::new(ch) {
+                Ok(adv) => {
+                    prop_assert!((37..=39).contains(&ch));
+                    prop_assert_eq!(adv.index(), ch);
+                    prop_assert!(adv.freq_hz() >= 2.402e9 && adv.freq_hz() <= 2.480e9);
+                }
+                Err(e) => {
+                    prop_assert!(!(37..=39).contains(&ch));
+                    prop_assert_eq!(e.0, ch);
+                }
+            }
+            Ok(())
+        },
+    );
 }

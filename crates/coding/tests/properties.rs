@@ -1,4 +1,5 @@
-//! Property-based tests for every invariant the coding substrate promises.
+//! Randomized-property tests for every invariant the coding substrate
+//! promises, on the in-tree `bluefi_core::check` harness.
 
 use bluefi_coding::bch::{check_sync_word, sync_word};
 use bluefi_coding::convolutional::encode_r12;
@@ -9,156 +10,231 @@ use bluefi_coding::puncture::{depuncture, puncture, CodeRate, RxBit};
 use bluefi_coding::realtime::{protected_mask, RealtimePlan};
 use bluefi_coding::viterbi::{decode_punctured, reencode_flips};
 use bluefi_coding::FreeEdge;
-use proptest::prelude::*;
+use bluefi_core::check::{bools, check};
+use bluefi_core::rng::Rng;
+use bluefi_core::{prop_assert, prop_assert_eq};
 
-proptest! {
-    #[test]
-    fn scramble_is_involution(seed in 1u8..128, bits in prop::collection::vec(any::<bool>(), 0..300)) {
-        prop_assert_eq!(scramble(seed, &scramble(seed, &bits)), bits);
-    }
+#[test]
+fn scramble_is_involution() {
+    check(
+        "scramble_is_involution",
+        |rng| (rng.gen_range(1u8..128), bools(rng, 0..300)),
+        |(seed, bits)| {
+            prop_assert_eq!(scramble(*seed, &scramble(*seed, bits)), *bits);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn scrambler_seed_recovery(seed in 1u8..128) {
-        let scrambled = scramble(seed, &vec![false; 16]);
-        prop_assert_eq!(recover_seed(&scrambled), Some(seed));
-    }
+#[test]
+fn scrambler_seed_recovery() {
+    check(
+        "scrambler_seed_recovery",
+        |rng| rng.gen_range(1u8..128),
+        |&seed| {
+            let scrambled = scramble(seed, &vec![false; 16]);
+            prop_assert_eq!(recover_seed(&scrambled), Some(seed));
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn ble_whitening_involution(ch in 0u8..40, bits in prop::collection::vec(any::<bool>(), 0..200)) {
-        prop_assert_eq!(ble_whiten(ch, &ble_whiten(ch, &bits)), bits);
-    }
+#[test]
+fn ble_whitening_involution() {
+    check(
+        "ble_whitening_involution",
+        |rng| (rng.gen_range(0u8..40), bools(rng, 0..200)),
+        |(ch, bits)| {
+            prop_assert_eq!(ble_whiten(*ch, &ble_whiten(*ch, bits)), *bits);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn convolutional_code_is_linear(
-        a in prop::collection::vec(any::<bool>(), 30),
-        b in prop::collection::vec(any::<bool>(), 30),
-    ) {
-        let sum: Vec<bool> = a.iter().zip(&b).map(|(x, y)| x ^ y).collect();
-        let ea = encode_r12(&a);
-        let eb = encode_r12(&b);
-        let esum = encode_r12(&sum);
-        let xor: Vec<bool> = ea.iter().zip(&eb).map(|(x, y)| x ^ y).collect();
-        prop_assert_eq!(esum, xor);
-    }
+#[test]
+fn convolutional_code_is_linear() {
+    check(
+        "convolutional_code_is_linear",
+        |rng| (bools(rng, 30..31), bools(rng, 30..31)),
+        |(a, b)| {
+            let sum: Vec<bool> = a.iter().zip(b).map(|(x, y)| x ^ y).collect();
+            let ea = encode_r12(a);
+            let eb = encode_r12(b);
+            let esum = encode_r12(&sum);
+            let xor: Vec<bool> = ea.iter().zip(&eb).map(|(x, y)| x ^ y).collect();
+            prop_assert_eq!(esum, xor);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn viterbi_inverts_noiseless_encoding(
-        data in prop::collection::vec(any::<bool>(), 30),
-        rate_idx in 0usize..4,
-    ) {
-        let rate = [CodeRate::R12, CodeRate::R23, CodeRate::R34, CodeRate::R56][rate_idx];
-        let tx = puncture(rate, &encode_r12(&data));
-        let dec = decode_punctured(rate, &tx, None, false);
-        prop_assert_eq!(dec, data);
-    }
+#[test]
+fn viterbi_inverts_noiseless_encoding() {
+    check(
+        "viterbi_inverts_noiseless_encoding",
+        |rng| (bools(rng, 30..31), rng.gen_range(0usize..4)),
+        |(data, rate_idx)| {
+            let rate = [CodeRate::R12, CodeRate::R23, CodeRate::R34, CodeRate::R56][*rate_idx];
+            let tx = puncture(rate, &encode_r12(data));
+            let dec = decode_punctured(rate, &tx, None, false);
+            prop_assert_eq!(dec, *data);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn depuncture_preserves_transmitted_bits(
-        data in prop::collection::vec(any::<bool>(), 30),
-        rate_idx in 0usize..4,
-    ) {
-        let rate = [CodeRate::R12, CodeRate::R23, CodeRate::R34, CodeRate::R56][rate_idx];
-        let mother = encode_r12(&data);
-        let tx = puncture(rate, &mother);
-        let rx = depuncture(rate, &tx, None);
-        let survived: Vec<bool> = rx
-            .iter()
-            .enumerate()
-            .filter_map(|(i, r)| match r {
-                RxBit::Bit { value, .. } => Some(*value == mother[i]),
-                RxBit::Erasure => None,
-            })
-            .collect();
-        prop_assert!(survived.iter().all(|&ok| ok));
-        prop_assert_eq!(survived.len(), tx.len());
-    }
+#[test]
+fn depuncture_preserves_transmitted_bits() {
+    check(
+        "depuncture_preserves_transmitted_bits",
+        |rng| (bools(rng, 30..31), rng.gen_range(0usize..4)),
+        |(data, rate_idx)| {
+            let rate = [CodeRate::R12, CodeRate::R23, CodeRate::R34, CodeRate::R56][*rate_idx];
+            let mother = encode_r12(data);
+            let tx = puncture(rate, &mother);
+            let rx = depuncture(rate, &tx, None);
+            let survived: Vec<bool> = rx
+                .iter()
+                .enumerate()
+                .filter_map(|(i, r)| match r {
+                    RxBit::Bit { value, .. } => Some(*value == mother[i]),
+                    RxBit::Erasure => None,
+                })
+                .collect();
+            prop_assert!(survived.iter().all(|&ok| ok));
+            prop_assert_eq!(survived.len(), tx.len());
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn realtime_plan_never_flips_protected(
-        target in prop::collection::vec(any::<bool>(), 39 * 4..=39 * 4),
-        front in any::<bool>(),
-    ) {
-        let edge = if front { FreeEdge::Front } else { FreeEdge::Back };
-        let plan = RealtimePlan::new(target.len(), edge);
-        let out = plan.decode(&target);
-        let mask = protected_mask(target.len(), edge);
-        for &f in &out.flips {
-            prop_assert!(!mask[f], "protected bit {} flipped", f);
-        }
-        // The paper's guarantee: at most 1/3 of bits flip.
-        prop_assert!(out.flips.len() * 3 <= target.len());
-    }
+#[test]
+fn realtime_plan_never_flips_protected() {
+    check(
+        "realtime_plan_never_flips_protected",
+        |rng| (bools(rng, 39 * 4..39 * 4 + 1), rng.gen::<bool>()),
+        |(target, front)| {
+            let edge = if *front { FreeEdge::Front } else { FreeEdge::Back };
+            let plan = RealtimePlan::new(target.len(), edge);
+            let out = plan.decode(target);
+            let mask = protected_mask(target.len(), edge);
+            for &f in &out.flips {
+                prop_assert!(!mask[f], "protected bit {} flipped", f);
+            }
+            // The paper's guarantee: at most 1/3 of bits flip.
+            prop_assert!(out.flips.len() * 3 <= target.len());
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn weighted_viterbi_respects_infinite_weight_stripes(
-        data in prop::collection::vec(any::<bool>(), 60),
-    ) {
-        // Random target (not a codeword): protect positions i % 13 >= 6.
-        let rate = CodeRate::R56;
-        let n = data.len() * 6 / 5 - (data.len() * 6 / 5) % rate.period_outputs();
-        let target: Vec<bool> = (0..n).map(|i| data[i % data.len()] ^ (i % 7 == 3)).collect();
-        let weights: Vec<u32> = (0..n).map(|i| if i % 13 >= 6 { 1000 } else { 1 }).collect();
-        let dec = decode_punctured(rate, &target, Some(&weights), false);
-        for f in reencode_flips(rate, &dec, &target) {
-            prop_assert!(f % 13 < 6, "protected stripe bit {} flipped", f);
-        }
-    }
+#[test]
+fn weighted_viterbi_respects_infinite_weight_stripes() {
+    check(
+        "weighted_viterbi_respects_infinite_weight_stripes",
+        |rng| bools(rng, 60..61),
+        |data| {
+            // Random target (not a codeword): protect positions i % 13 >= 6.
+            let rate = CodeRate::R56;
+            let n = data.len() * 6 / 5 - (data.len() * 6 / 5) % rate.period_outputs();
+            let target: Vec<bool> = (0..n).map(|i| data[i % data.len()] ^ (i % 7 == 3)).collect();
+            let weights: Vec<u32> = (0..n).map(|i| if i % 13 >= 6 { 1000 } else { 1 }).collect();
+            let dec = decode_punctured(rate, &target, Some(&weights), false);
+            for f in reencode_flips(rate, &dec, &target) {
+                prop_assert!(f % 13 < 6, "protected stripe bit {} flipped", f);
+            }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn crc16_detects_any_single_flip(
-        uap in any::<u8>(),
-        payload in prop::collection::vec(any::<bool>(), 1..120),
-        flip in any::<prop::sample::Index>(),
-    ) {
-        let crc = crc16_bits(uap, &payload);
-        let mut bad = payload.clone();
-        let i = flip.index(bad.len());
-        bad[i] = !bad[i];
-        prop_assert!(crc16_check(uap, &payload, &crc));
-        prop_assert!(!crc16_check(uap, &bad, &crc));
-    }
+#[test]
+fn crc16_detects_any_single_flip() {
+    check(
+        "crc16_detects_any_single_flip",
+        |rng| {
+            let payload = bools(rng, 1..120);
+            let flip = rng.gen_range(0usize..payload.len());
+            (rng.gen::<u8>(), payload, flip)
+        },
+        |(uap, payload, flip)| {
+            let crc = crc16_bits(*uap, payload);
+            let mut bad = payload.clone();
+            bad[*flip] = !bad[*flip];
+            prop_assert!(crc16_check(*uap, payload, &crc));
+            prop_assert!(!crc16_check(*uap, &bad, &crc));
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn crc24_detects_any_single_flip(
-        pdu in prop::collection::vec(any::<bool>(), 1..200),
-        flip in any::<prop::sample::Index>(),
-    ) {
-        let crc = crc24_bits(BLE_ADV_CRC_INIT, &pdu);
-        let mut bad = pdu.clone();
-        let i = flip.index(bad.len());
-        bad[i] = !bad[i];
-        prop_assert!(crc24_check(BLE_ADV_CRC_INIT, &pdu, &crc));
-        prop_assert!(!crc24_check(BLE_ADV_CRC_INIT, &bad, &crc));
-    }
+#[test]
+fn crc24_detects_any_single_flip() {
+    check(
+        "crc24_detects_any_single_flip",
+        |rng| {
+            let pdu = bools(rng, 1..200);
+            let flip = rng.gen_range(0usize..pdu.len());
+            (pdu, flip)
+        },
+        |(pdu, flip)| {
+            let crc = crc24_bits(BLE_ADV_CRC_INIT, pdu);
+            let mut bad = pdu.clone();
+            bad[*flip] = !bad[*flip];
+            prop_assert!(crc24_check(BLE_ADV_CRC_INIT, pdu, &crc));
+            prop_assert!(!crc24_check(BLE_ADV_CRC_INIT, &bad, &crc));
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn hamming_corrects_every_single_error(
-        data in prop::collection::vec(any::<bool>(), 10),
-        pos in 0usize..15,
-    ) {
-        let mut cw = encode15_10(&data);
-        cw[pos] = !cw[pos];
-        let (dec, status) = decode15_10(&cw);
-        prop_assert_eq!(status, BlockStatus::Corrected);
-        prop_assert_eq!(dec, data);
-    }
+#[test]
+fn hamming_corrects_every_single_error() {
+    check(
+        "hamming_corrects_every_single_error",
+        |rng| (bools(rng, 10..11), rng.gen_range(0usize..15)),
+        |(data, pos)| {
+            let mut cw = encode15_10(data);
+            cw[*pos] = !cw[*pos];
+            let (dec, status) = decode15_10(&cw);
+            prop_assert_eq!(status, BlockStatus::Corrected);
+            prop_assert_eq!(dec, *data);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn repetition_majority_beats_one_error_per_triplet(
-        data in prop::collection::vec(any::<bool>(), 1..40),
-        which in prop::collection::vec(0usize..3, 1..40),
-    ) {
-        let mut enc = encode_r13(&data);
-        for (t, &w) in which.iter().enumerate().take(data.len()) {
-            enc[t * 3 + w] = !enc[t * 3 + w];
-        }
-        prop_assert_eq!(decode_r13(&enc), data);
-    }
+#[test]
+fn repetition_majority_beats_one_error_per_triplet() {
+    check(
+        "repetition_majority_beats_one_error_per_triplet",
+        |rng| {
+            let data = bools(rng, 1..40);
+            let which: Vec<usize> =
+                (0..data.len()).map(|_| rng.gen_range(0usize..3)).collect();
+            (data, which)
+        },
+        |(data, which)| {
+            let mut enc = encode_r13(data);
+            for (t, &w) in which.iter().enumerate().take(data.len()) {
+                enc[t * 3 + w] = !enc[t * 3 + w];
+            }
+            prop_assert_eq!(decode_r13(&enc), *data);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn sync_words_roundtrip_and_reject_corruption(lap in 0u32..(1 << 24), bit in 0u32..64) {
-        let sw = sync_word(lap);
-        prop_assert_eq!(check_sync_word(sw), Some(lap));
-        prop_assert_eq!(check_sync_word(sw ^ (1u64 << bit)), None);
-    }
+#[test]
+fn sync_words_roundtrip_and_reject_corruption() {
+    check(
+        "sync_words_roundtrip_and_reject_corruption",
+        |rng| (rng.gen_range(0u32..1 << 24), rng.gen_range(0u32..64)),
+        |&(lap, bit)| {
+            let sw = sync_word(lap);
+            prop_assert_eq!(check_sync_word(sw), Some(lap));
+            prop_assert_eq!(check_sync_word(sw ^ (1u64 << bit)), None);
+            Ok(())
+        },
+    );
 }

@@ -1,0 +1,196 @@
+//! An in-tree randomized-property harness — the hermetic replacement for
+//! `proptest`.
+//!
+//! Each property runs a fixed number of cases against inputs drawn from a
+//! deterministic per-property seed (FNV-1a of the property name), so a
+//! failure reproduces exactly on every machine. There is no shrinking;
+//! instead the failing case's generated input is printed in full along
+//! with the seed and case index.
+//!
+//! Environment knobs:
+//! * `BLUEFI_PROP_CASES` — cases per property (default 64).
+//! * `BLUEFI_PROP_SEED` — XORed into every property's seed, to explore
+//!   fresh input space in scheduled runs without losing reproducibility.
+
+use crate::rng::{Rng, SeedableRng, StdRng};
+use std::fmt::Debug;
+use std::ops::Range;
+
+/// Cases per property, honoring `BLUEFI_PROP_CASES`.
+pub fn default_cases() -> usize {
+    std::env::var("BLUEFI_PROP_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+fn fnv1a(name: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+fn base_seed(name: &str) -> u64 {
+    let user = std::env::var("BLUEFI_PROP_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0u64);
+    fnv1a(name) ^ user
+}
+
+/// Runs `prop` against `default_cases()` inputs drawn by `gen`.
+///
+/// Panics with the property name, seed, case index and the full failing
+/// input when `prop` returns `Err`.
+pub fn check<T: Debug>(
+    name: &str,
+    gen: impl FnMut(&mut StdRng) -> T,
+    prop: impl FnMut(&T) -> Result<(), String>,
+) {
+    check_n(name, default_cases(), gen, prop)
+}
+
+/// [`check`] with an explicit case count (for expensive properties).
+pub fn check_n<T: Debug>(
+    name: &str,
+    cases: usize,
+    mut gen: impl FnMut(&mut StdRng) -> T,
+    mut prop: impl FnMut(&T) -> Result<(), String>,
+) {
+    let seed = base_seed(name);
+    let mut rng = StdRng::seed_from_u64(seed);
+    for case in 0..cases {
+        let input = gen(&mut rng);
+        if let Err(msg) = prop(&input) {
+            panic!(
+                "property `{name}` failed at case {case}/{cases} (seed {seed:#018x})\n\
+                 input: {input:?}\n{msg}"
+            );
+        }
+    }
+}
+
+/// `n` draws from `f`, with `n` uniform in `len` — the `vec(strategy, ..)`
+/// combinator.
+pub fn vec_with<T>(
+    rng: &mut StdRng,
+    len: Range<usize>,
+    mut f: impl FnMut(&mut StdRng) -> T,
+) -> Vec<T> {
+    let n = if len.start + 1 == len.end { len.start } else { rng.gen_range(len) };
+    (0..n).map(|_| f(rng)).collect()
+}
+
+/// A random bit vector with length drawn from `len`.
+pub fn bools(rng: &mut StdRng, len: Range<usize>) -> Vec<bool> {
+    vec_with(rng, len, |r| r.gen())
+}
+
+/// A random byte vector with length drawn from `len`.
+pub fn bytes(rng: &mut StdRng, len: Range<usize>) -> Vec<u8> {
+    vec_with(rng, len, |r| r.gen())
+}
+
+/// A vector of uniforms from `range`, with length drawn from `len`.
+pub fn f64s(rng: &mut StdRng, range: Range<f64>, len: Range<usize>) -> Vec<f64> {
+    vec_with(rng, len, |r| r.gen_range(range.clone()))
+}
+
+/// Asserts a condition inside a [`check`] property; evaluates to
+/// `Err(String)` (propagated with `?` or `return`) when it fails.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Asserts equality inside a [`check`] property, printing both sides on
+/// failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return Err(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut ran = 0;
+        check_n("always_true", 17, |r| r.gen::<u32>(), |_| {
+            ran += 1;
+            Ok(())
+        });
+        assert_eq!(ran, 17);
+    }
+
+    #[test]
+    fn failing_property_reports_input_and_seed() {
+        let caught = std::panic::catch_unwind(|| {
+            check_n("fails_on_big", 1000, |r| r.gen_range(0u32..100), |&v| {
+                prop_assert!(v < 90, "saw {v}");
+                Ok(())
+            });
+        });
+        let msg = *caught.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("fails_on_big"), "{msg}");
+        assert!(msg.contains("input:"), "{msg}");
+        assert!(msg.contains("seed"), "{msg}");
+    }
+
+    #[test]
+    fn same_name_draws_same_inputs() {
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        check_n("stable_stream", 10, |r| r.gen::<u64>(), |&v| {
+            a.push(v);
+            Ok(())
+        });
+        check_n("stable_stream", 10, |r| r.gen::<u64>(), |&v| {
+            b.push(v);
+            Ok(())
+        });
+        assert_eq!(a, b);
+        let mut c = Vec::new();
+        check_n("other_stream", 10, |r| r.gen::<u64>(), |&v| {
+            c.push(v);
+            Ok(())
+        });
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn generator_helpers_respect_lengths() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert!((3..7).contains(&bools(&mut rng, 3..7).len()));
+            assert!(bytes(&mut rng, 0..1).is_empty());
+            let v = f64s(&mut rng, -1.0..1.0, 5..6);
+            assert_eq!(v.len(), 5);
+            assert!(v.iter().all(|x| (-1.0..1.0).contains(x)));
+        }
+    }
+}

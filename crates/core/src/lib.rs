@@ -14,18 +14,31 @@
 //! * [`stages`] — cumulative impairment staging for the Sec 4.6 study.
 //! * [`verify`] — forward loopback through the real TX chain and a COTS
 //!   Bluetooth receiver model.
+//!
+//! Plus the hermetic-build substrate the rest of the workspace shares
+//! (the build environment has no registry access, so these replace their
+//! crates.io equivalents):
+//!
+//! * [`rng`] — seedable xoshiro256++ randomness (replaces `rand`).
+//! * [`json`] — a tiny JSON emitter/parser (replaces `serde`).
+//! * [`check`] — the randomized-property harness (replaces `proptest`).
 
 #![warn(missing_docs)]
 
+pub mod check;
 pub mod cp;
+pub mod json;
 pub mod pipeline;
 pub mod qam;
 pub mod reversal;
+pub mod rng;
 pub mod stages;
 pub mod verify;
 
 pub use cp::CpCompat;
+pub use json::{Json, ToJson};
 pub use pipeline::{BlueFi, Synthesis};
 pub use qam::{Quantizer, ScaleMode};
 pub use reversal::{DecodeStrategy, WeightProfile};
+pub use rng::{Rng, SeedableRng, StdRng};
 pub use stages::Stage;

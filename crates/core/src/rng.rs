@@ -1,0 +1,339 @@
+//! Self-hosted, seedable randomness for the whole workspace.
+//!
+//! The build environment is hermetic — no registry access — so the
+//! simulators cannot lean on the `rand` crate. This module provides the
+//! small API surface the repo actually uses: a [`StdRng`] built on
+//! xoshiro256++ seeded through SplitMix64, uniform integer/float ranges,
+//! Bernoulli draws, and a Box–Muller standard-normal sampler for the
+//! AWGN/fading channel. Everything is deterministic given a seed, which is
+//! what the PER/fading experiments need to stay reproducible.
+
+/// One SplitMix64 step: advances `state` and returns the next output.
+///
+/// Used to expand a 64-bit seed into the 256-bit xoshiro state (the
+/// seeding procedure recommended by the xoshiro authors) and exposed for
+/// tests against the reference implementation's vectors.
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Seeding support (the `rand`-compatible entry point).
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose entire stream is determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// The workspace's standard generator: xoshiro256++.
+///
+/// Fast, 256 bits of state, passes BigCrush; not cryptographic (nothing
+/// here needs that).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> StdRng {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        StdRng { s }
+    }
+}
+
+impl Rng for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        let out = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        out
+    }
+}
+
+/// Types [`Rng::gen`] can produce uniformly.
+pub trait Standard: Sized {
+    /// Draws one uniform value.
+    fn draw<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn draw<R: Rng + ?Sized>(rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    fn draw<R: Rng + ?Sized>(rng: &mut R) -> bool {
+        // Top bit: xoshiro's low bits are its weakest.
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn draw<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+        rng.next_f64()
+    }
+}
+
+/// Half-open ranges [`Rng::gen_range`] can sample from.
+pub trait SampleRange {
+    /// The sampled value's type.
+    type Output;
+    /// Draws a uniform value in the range. Panics on an empty range.
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> Self::Output;
+}
+
+impl SampleRange for std::ops::Range<f64> {
+    type Output = f64;
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty range {:?}", self);
+        // May round to `end` for extreme spans; fold back to stay half-open.
+        let v = self.start + rng.next_f64() * (self.end - self.start);
+        if v < self.end { v } else { self.start }
+    }
+}
+
+macro_rules! sample_range_uint {
+    ($($t:ty),*) => {$(
+        impl SampleRange for std::ops::Range<$t> {
+            type Output = $t;
+            fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range {:?}", self);
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.next_below(span) as $t)
+            }
+        }
+    )*};
+}
+sample_range_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! sample_range_int {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleRange for std::ops::Range<$t> {
+            type Output = $t;
+            fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range {:?}", self);
+                let span = (self.end as $u).wrapping_sub(self.start as $u) as u64;
+                self.start.wrapping_add(rng.next_below(span) as $t)
+            }
+        }
+    )*};
+}
+sample_range_int!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+/// The generator interface: one required method, everything else derived.
+pub trait Rng {
+    /// The next 64 uniform bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform in [0, 1) with 53 bits of precision.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in [0, `bound`) without modulo bias (Lemire's method with
+    /// rejection). Panics when `bound` is zero.
+    fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "next_below(0)");
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let wide = (self.next_u64() as u128) * (bound as u128);
+            if (wide as u64) >= threshold {
+                return (wide >> 64) as u64;
+            }
+        }
+    }
+
+    /// One uniform value of type `T`.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::draw(self)
+    }
+
+    /// Uniform draw from a half-open range.
+    fn gen_range<S: SampleRange>(&mut self, range: S) -> S::Output {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p` (clamped to [0, 1]).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// A standard-normal sample via Box–Muller (one of the pair; the
+    /// cosine branch).
+    fn gen_normal(&mut self) -> f64 {
+        let u1 = self.gen_range(1e-12..1.0);
+        let u2 = self.next_f64();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix64_matches_reference_vectors() {
+        // First outputs of the reference C splitmix64 with seed 0.
+        let mut st = 0u64;
+        assert_eq!(splitmix64(&mut st), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(splitmix64(&mut st), 0x6E78_9E6A_A1B9_65F4);
+        assert_eq!(splitmix64(&mut st), 0x06C4_5D18_8009_454F);
+    }
+
+    #[test]
+    fn identically_seeded_streams_agree() {
+        let mut a = StdRng::seed_from_u64(0xB1DEF1);
+        let mut b = StdRng::seed_from_u64(0xB1DEF1);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        // And a different seed diverges immediately.
+        let mut c = StdRng::seed_from_u64(0xB1DEF2);
+        assert_ne!(StdRng::seed_from_u64(0xB1DEF1).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn uniform_f64_is_in_unit_interval_and_centered() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 100_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let v = rng.next_f64();
+            assert!((0.0..1.0).contains(&v));
+            sum += v;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "uniform mean {mean}");
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let u = rng.gen_range(5usize..17);
+            assert!((5..17).contains(&u));
+            let i = rng.gen_range(-8i32..9);
+            assert!((-8..9).contains(&i));
+            let f = rng.gen_range(-2.5f64..2.5);
+            assert!((-2.5..2.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_every_value() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut seen = [false; 16];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0usize..16)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.3)).count();
+        let p = hits as f64 / 100_000.0;
+        assert!((p - 0.3).abs() < 0.01, "gen_bool(0.3) ran at {p}");
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    /// Golden outputs for fixed seeds. Seed 0 matches the published
+    /// xoshiro256++ reference stream when the state is expanded with
+    /// SplitMix64; the others pin our exact seeding path so any change
+    /// to the generator (which would silently reshuffle every fixed-seed
+    /// simulation in the repo) fails loudly here.
+    #[test]
+    fn golden_streams_for_fixed_seeds() {
+        let cases: [(u64, [u64; 4]); 3] = [
+            (
+                0,
+                [0x53175D61490B23DF, 0x61DA6F3DC380D507, 0x5C0FDF91EC9A7BFC, 0x02EEBF8C3BBE5E1A],
+            ),
+            (
+                42,
+                [0xD0764D4F4476689F, 0x519E4174576F3791, 0xFBE07CFB0C24ED8C, 0xB37D9F600CD835B8],
+            ),
+            (
+                0xDEADBEEF,
+                [0x0C520EB8FEA98EDE, 0x2B74A6338B80E0E2, 0xBE238770C3795322, 0x5F235F98A244EA97],
+            ),
+        ];
+        for (seed, expect) in cases {
+            let mut rng = StdRng::seed_from_u64(seed);
+            for (i, want) in expect.into_iter().enumerate() {
+                assert_eq!(rng.next_u64(), want, "seed {seed:#x}, draw {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn golden_f64_stream() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let got: Vec<f64> = (0..3).map(|_| rng.next_f64()).collect();
+        assert_eq!(got, vec![0.5990316791291411, 0.4297364011687632, 0.19864982391454744]);
+    }
+
+    #[test]
+    fn gaussian_matches_standard_normal_moments() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 100_000usize;
+        let (mut sum, mut sum_sq, mut in_one_sigma) = (0.0f64, 0.0f64, 0usize);
+        for _ in 0..n {
+            let x = rng.gen_normal();
+            sum += x;
+            sum_sq += x * x;
+            if x.abs() < 1.0 {
+                in_one_sigma += 1;
+            }
+        }
+        let mean = sum / n as f64;
+        let var = sum_sq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.02, "gaussian mean drifted to {mean}");
+        assert!((var - 1.0).abs() < 0.02, "gaussian variance drifted to {var}");
+        // P(|X| < 1) for a standard normal is ~0.6827.
+        let frac = in_one_sigma as f64 / n as f64;
+        assert!((frac - 0.6827).abs() < 0.01, "one-sigma mass was {frac}");
+    }
+
+    #[test]
+    fn identically_seeded_generators_stay_in_lockstep_across_types() {
+        let mut a = StdRng::seed_from_u64(0x1234_5678);
+        let mut b = StdRng::seed_from_u64(0x1234_5678);
+        for _ in 0..500 {
+            assert_eq!(a.gen::<u32>(), b.gen::<u32>());
+            assert_eq!(a.gen_range(-40i32..40), b.gen_range(-40i32..40));
+            assert_eq!(a.next_f64().to_bits(), b.next_f64().to_bits());
+            assert_eq!(a.gen_normal().to_bits(), b.gen_normal().to_bits());
+        }
+    }
+}

@@ -1,67 +1,139 @@
-//! Property-based tests for the DSP substrate.
+//! Randomized-property tests for the DSP substrate, driven by the
+//! in-tree `bluefi_core::check` harness (hermetic replacement for
+//! proptest: fixed per-property seeds, no shrinking, failing inputs are
+//! printed in full).
 
+use bluefi_core::check::{bools, check, f64s, vec_with};
+use bluefi_core::rng::Rng;
+use bluefi_core::{prop_assert, prop_assert_eq};
 use bluefi_dsp::bits::{bits_to_bytes_lsb, bits_to_u64_lsb, bytes_to_bits_lsb, u64_to_bits_lsb};
 use bluefi_dsp::fft::{fft, ifft};
 use bluefi_dsp::phase::{accumulate_frequency, discriminate, phase_to_iq, unwrap, wrap_angle};
 use bluefi_dsp::{cx, Cx};
-use proptest::prelude::*;
 
-proptest! {
-    #[test]
-    fn fft_ifft_roundtrip(values in prop::collection::vec((-10.0f64..10.0, -10.0f64..10.0), 64)) {
-        let x: Vec<Cx> = values.iter().map(|&(r, i)| cx(r, i)).collect();
-        let round = ifft(&fft(&x));
-        for (a, b) in x.iter().zip(&round) {
-            prop_assert!((*a - *b).abs() < 1e-9);
-        }
-    }
+#[test]
+fn fft_ifft_roundtrip() {
+    check(
+        "fft_ifft_roundtrip",
+        |rng| {
+            vec_with(rng, 64..65, |r| cx(r.gen_range(-10.0..10.0), r.gen_range(-10.0..10.0)))
+        },
+        |x| {
+            let round = ifft(&fft(x));
+            for (a, b) in x.iter().zip(&round) {
+                prop_assert!((*a - *b).abs() < 1e-9);
+            }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn parseval_holds(values in prop::collection::vec((-5.0f64..5.0, -5.0f64..5.0), 32)) {
-        let x: Vec<Cx> = values.iter().map(|&(r, i)| cx(r, i)).collect();
-        let te: f64 = x.iter().map(|v| v.norm_sq()).sum();
-        let fe: f64 = fft(&x).iter().map(|v| v.norm_sq()).sum::<f64>() / 32.0;
-        prop_assert!((te - fe).abs() < 1e-6 * (1.0 + te));
-    }
+#[test]
+fn parseval_holds() {
+    check(
+        "parseval_holds",
+        |rng| vec_with(rng, 32..33, |r| cx(r.gen_range(-5.0..5.0), r.gen_range(-5.0..5.0))),
+        |x: &Vec<Cx>| {
+            let te: f64 = x.iter().map(|v| v.norm_sq()).sum();
+            let fe: f64 = fft(x).iter().map(|v| v.norm_sq()).sum::<f64>() / 32.0;
+            prop_assert!((te - fe).abs() < 1e-6 * (1.0 + te));
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn bytes_bits_roundtrip(bytes in prop::collection::vec(any::<u8>(), 0..200)) {
-        prop_assert_eq!(bits_to_bytes_lsb(&bytes_to_bits_lsb(&bytes)), bytes);
-    }
+#[test]
+fn bytes_bits_roundtrip() {
+    check(
+        "bytes_bits_roundtrip",
+        |rng| bluefi_core::check::bytes(rng, 0..200),
+        |bytes| {
+            prop_assert_eq!(bits_to_bytes_lsb(&bytes_to_bits_lsb(bytes)), *bytes);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn u64_bits_roundtrip(v in any::<u64>(), width in 1usize..=64) {
-        let masked = if width == 64 { v } else { v & ((1u64 << width) - 1) };
-        prop_assert_eq!(bits_to_u64_lsb(&u64_to_bits_lsb(masked, width)), masked);
-    }
+#[test]
+fn u64_bits_roundtrip() {
+    check(
+        "u64_bits_roundtrip",
+        |rng| (rng.gen::<u64>(), rng.gen_range(1usize..65)),
+        |&(v, width)| {
+            let masked = if width == 64 { v } else { v & ((1u64 << width) - 1) };
+            prop_assert_eq!(bits_to_u64_lsb(&u64_to_bits_lsb(masked, width)), masked);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn unwrap_is_continuous(phases in prop::collection::vec(-20.0f64..20.0, 2..100)) {
-        let wrapped: Vec<f64> = phases.iter().map(|&p| wrap_angle(p)).collect();
-        let un = unwrap(&wrapped);
-        for w in un.windows(2) {
-            prop_assert!((w[1] - w[0]).abs() <= std::f64::consts::PI + 1e-9);
-        }
-    }
+#[test]
+fn unwrap_is_continuous() {
+    check(
+        "unwrap_is_continuous",
+        |rng| f64s(rng, -20.0..20.0, 2..100),
+        |phases| {
+            let wrapped: Vec<f64> = phases.iter().map(|&p| wrap_angle(p)).collect();
+            let un = unwrap(&wrapped);
+            for w in un.windows(2) {
+                prop_assert!((w[1] - w[0]).abs() <= std::f64::consts::PI + 1e-9);
+            }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn discriminator_inverts_accumulation(freqs in prop::collection::vec(-0.2f64..0.2, 2..64)) {
-        let phase = accumulate_frequency(&freqs, 0.3);
-        let iq = phase_to_iq(&phase);
-        let rec = discriminate(&iq);
-        // rec[n] (n >= 1) recovers freqs[n-1] (the step into sample n).
-        for n in 1..freqs.len() {
-            prop_assert!((rec[n] - freqs[n - 1]).abs() < 1e-9, "n={} {} vs {}", n, rec[n], freqs[n-1]);
-        }
-    }
+#[test]
+fn discriminator_inverts_accumulation() {
+    check(
+        "discriminator_inverts_accumulation",
+        |rng| f64s(rng, -0.2..0.2, 2..64),
+        |freqs| {
+            let phase = accumulate_frequency(freqs, 0.3);
+            let iq = phase_to_iq(&phase);
+            let rec = discriminate(&iq);
+            // rec[n] (n >= 1) recovers freqs[n-1] (the step into sample n).
+            for n in 1..freqs.len() {
+                prop_assert!(
+                    (rec[n] - freqs[n - 1]).abs() < 1e-9,
+                    "n={} {} vs {}",
+                    n,
+                    rec[n],
+                    freqs[n - 1]
+                );
+            }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn wrap_angle_is_idempotent_and_bounded(a in -1000.0f64..1000.0) {
-        let w = wrap_angle(a);
-        prop_assert!(w > -std::f64::consts::PI - 1e-12 && w <= std::f64::consts::PI + 1e-12);
-        prop_assert!((wrap_angle(w) - w).abs() < 1e-12);
-        // Same angle modulo 2π.
-        let d = (a - w) / (2.0 * std::f64::consts::PI);
-        prop_assert!((d - d.round()).abs() < 1e-9);
-    }
+#[test]
+fn wrap_angle_is_idempotent_and_bounded() {
+    check(
+        "wrap_angle_is_idempotent_and_bounded",
+        |rng| rng.gen_range(-1000.0..1000.0),
+        |&a| {
+            let w = wrap_angle(a);
+            prop_assert!(w > -std::f64::consts::PI - 1e-12 && w <= std::f64::consts::PI + 1e-12);
+            prop_assert!((wrap_angle(w) - w).abs() < 1e-12);
+            // Same angle modulo 2π.
+            let d = (a - w) / (2.0 * std::f64::consts::PI);
+            prop_assert!((d - d.round()).abs() < 1e-9);
+            Ok(())
+        },
+    );
+}
+
+// `bools` is exercised here so the helper keeps working for the other
+// suites even if dsp stops needing bit vectors.
+#[test]
+fn bit_vector_roundtrip_via_bytes() {
+    check(
+        "bit_vector_roundtrip_via_bytes",
+        |rng| bools(rng, 0..25).iter().map(|&b| b as u8).collect::<Vec<u8>>(),
+        |bytes| {
+            prop_assert_eq!(bits_to_bytes_lsb(&bytes_to_bits_lsb(bytes)), *bytes);
+            Ok(())
+        },
+    );
 }

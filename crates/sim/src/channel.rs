@@ -3,26 +3,9 @@
 //! frequency offset, an optional two-ray multipath, and bursty co-channel
 //! interference ("at least 2 other APs operating on the same channel").
 
+use bluefi_core::rng::Rng;
 use bluefi_dsp::power::{dbm_to_mw, from_db};
 use bluefi_dsp::Cx;
-use rand::Rng;
-use rand_distr_normal::StandardNormalish;
-
-/// Minimal Box–Muller standard normal so we stay within the approved
-/// dependency set (rand's `r#gen` gives uniforms; rand_distr is not used).
-mod rand_distr_normal {
-    use rand::Rng;
-
-    pub struct StandardNormalish;
-
-    impl StandardNormalish {
-        pub fn sample<R: Rng>(rng: &mut R) -> f64 {
-            let u1: f64 = rng.gen_range(1e-12..1.0);
-            let u2: f64 = rng.gen_range(0.0..1.0);
-            (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
-        }
-    }
-}
 
 /// Channel configuration.
 #[derive(Debug, Clone)]
@@ -101,7 +84,7 @@ impl Channel {
     /// Applies the channel to one transmitted packet, returning the
     /// waveform at the receiver's antenna. Deterministic given `rng`.
     pub fn apply<R: Rng>(&self, tx: &[Cx], rng: &mut R) -> Vec<Cx> {
-        let shadow_db = StandardNormalish::sample(rng) * self.cfg.shadowing_sigma_db;
+        let shadow_db = rng.gen_normal() * self.cfg.shadowing_sigma_db;
         let gain = from_db(-(self.cfg.path_loss_db() + shadow_db)).sqrt();
         let w = 2.0 * std::f64::consts::PI * self.cfg.cfo_hz / self.sample_rate_hz;
 
@@ -123,8 +106,8 @@ impl Channel {
         // AWGN at the noise floor (complex: half the power per component).
         let sigma = (dbm_to_mw(self.cfg.noise_floor_dbm) / 2.0).sqrt();
         for v in rx.iter_mut() {
-            v.re += sigma * StandardNormalish::sample(rng);
-            v.im += sigma * StandardNormalish::sample(rng);
+            v.re += sigma * rng.gen_normal();
+            v.im += sigma * rng.gen_normal();
         }
 
         // Bursty co-channel interference: raise the floor for a stretch of
@@ -136,8 +119,8 @@ impl Channel {
                 let len = rx.len() / 4;
                 let start = rng.gen_range(0..rx.len() - len);
                 for v in rx[start..start + len].iter_mut() {
-                    v.re += burst_sigma * StandardNormalish::sample(rng);
-                    v.im += burst_sigma * StandardNormalish::sample(rng);
+                    v.re += burst_sigma * rng.gen_normal();
+                    v.im += burst_sigma * rng.gen_normal();
                 }
             }
         }
@@ -148,9 +131,8 @@ impl Channel {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bluefi_core::rng::{SeedableRng, StdRng};
     use bluefi_dsp::power::{mean_power, mw_to_dbm};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     fn tone(n: usize) -> Vec<Cx> {
         (0..n).map(|i| Cx::expj(0.3 * i as f64)).collect()

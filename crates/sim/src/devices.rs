@@ -10,8 +10,8 @@
 
 use bluefi_bt::gfsk::{modulate_iq, GfskParams};
 use bluefi_bt::receiver::{GfskReceiver, ReceiverConfig};
+use bluefi_core::rng::Rng;
 use bluefi_dsp::Cx;
-use rand::Rng;
 
 /// A phone acting as a Bluetooth receiver.
 #[derive(Debug, Clone)]
@@ -137,8 +137,7 @@ impl BtTransmitter {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use bluefi_core::rng::{SeedableRng, StdRng};
 
     #[test]
     fn s6_reports_lower_rssi() {

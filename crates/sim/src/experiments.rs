@@ -6,16 +6,15 @@
 
 use crate::channel::{Channel, ChannelConfig};
 use crate::devices::{BtTransmitter, DeviceModel};
-use bluefi_bt::ble::{adv_air_bits, AdvPdu, AdvPduType};
+use bluefi_bt::ble::{adv_air_bits, AdvChannel, AdvPdu, AdvPduType};
 use bluefi_core::pipeline::BlueFi;
 use bluefi_core::stages::{waveform_at_stage, Stage};
 use bluefi_dsp::Cx;
 use bluefi_wifi::channels::plan_channel;
 use bluefi_wifi::subcarriers::SUBCARRIER_SPACING_HZ;
 use bluefi_wifi::ChipModel;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use serde::Serialize;
+use bluefi_core::json::{Json, ToJson};
+use bluefi_core::rng::{Rng, SeedableRng, StdRng};
 
 /// Which transmitter drives a session.
 #[derive(Debug, Clone)]
@@ -40,12 +39,21 @@ pub enum TxKind {
 }
 
 /// One RSSI report, as a scanner app would log it.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct RssiSample {
     /// Session time, seconds.
     pub t_s: f64,
     /// Reported RSSI, dBm.
     pub rssi_dbm: f64,
+}
+
+impl ToJson for RssiSample {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("t_s", Json::Num(self.t_s)),
+            ("rssi_dbm", Json::Num(self.rssi_dbm)),
+        ])
+    }
 }
 
 /// Session parameters.
@@ -60,9 +68,8 @@ pub struct SessionConfig {
     /// Reports per second actually simulated (scanner apps aggregate to
     /// ~1 Hz even when beacons run at 10 Hz).
     pub reports_hz: f64,
-    /// BLE advertising channel (37/38/39); 38 = 2426 MHz is the
-    /// well-covered one.
-    pub ble_channel: u8,
+    /// BLE advertising channel; 38 = 2426 MHz is the well-covered one.
+    pub ble_channel: AdvChannel,
 }
 
 impl SessionConfig {
@@ -75,7 +82,7 @@ impl SessionConfig {
             channel,
             duration_s: 120.0,
             reports_hz: 1.0,
-            ble_channel: 38,
+            ble_channel: AdvChannel::new(38).unwrap(),
         }
     }
 }
@@ -93,14 +100,9 @@ fn beacon_pdu() -> AdvPdu {
 /// Builds the transmitted waveform, the receiver offset (Hz, relative to
 /// the capture baseband) and the transmitter's per-packet amplitude-ripple
 /// sigma for a transmitter kind.
-fn build_tx(kind: &TxKind, ble_channel: u8) -> (Vec<Cx>, f64, f64) {
-    let bt_freq = match ble_channel {
-        37 => 2.402e9,
-        38 => 2.426e9,
-        39 => 2.480e9,
-        other => panic!("advertising channel 37..=39, got {other}"),
-    };
-    let bits = adv_air_bits(&beacon_pdu(), ble_channel);
+fn build_tx(kind: &TxKind, ble_channel: AdvChannel) -> (Vec<Cx>, f64, f64) {
+    let bt_freq = ble_channel.freq_hz();
+    let bits = adv_air_bits(&beacon_pdu(), ble_channel.index());
     match kind {
         TxKind::BlueFi { chip, tx_dbm } => {
             let bf = BlueFi::default();
@@ -156,14 +158,13 @@ pub fn run_beacon_session(kind: &TxKind, cfg: &SessionConfig, seed: u64) -> Vec<
         // Per-packet transmitter amplitude ripple (power-amplifier flatness
         // drift — the Realtek parts wobble more, paper Fig 5c).
         let tx_wave = if ripple > 0.0 {
-            use rand::Rng;
             let g = 1.0 + rng.gen_range(-ripple..ripple) * 3.0;
             tx_wave.iter().map(|v| v.scale(g)).collect()
         } else {
             tx_wave.clone()
         };
         let rx_wave = channel.apply(&tx_wave, &mut rng);
-        let result = rx.receive_ble_adv(&rx_wave, cfg.ble_channel);
+        let result = rx.receive_ble_adv(&rx_wave, cfg.ble_channel.index());
         // An RSSI report requires the access address to have matched; we do
         // not additionally gate on the CRC because the simulated
         // discriminator keeps a small residual BER on BlueFi waveforms that
@@ -181,7 +182,7 @@ pub fn run_beacon_session(kind: &TxKind, cfg: &SessionConfig, seed: u64) -> Vec<
 
 /// Counts sync/decode outcomes over `n` packets — the session-level PER
 /// view (used by the background-traffic experiment and tests).
-#[derive(Debug, Clone, Copy, Default, Serialize)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct PacketCounts {
     /// Fully decoded packets.
     pub ok: usize,
@@ -189,6 +190,16 @@ pub struct PacketCounts {
     pub crc_error: usize,
     /// Nothing usable found.
     pub lost: usize,
+}
+
+impl ToJson for PacketCounts {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("ok", Json::Num(self.ok as f64)),
+            ("crc_error", Json::Num(self.crc_error as f64)),
+            ("lost", Json::Num(self.lost as f64)),
+        ])
+    }
 }
 
 /// Runs `n` packets through the session's channel and classifies outcomes.
@@ -200,7 +211,7 @@ pub fn run_packet_counts(kind: &TxKind, cfg: &SessionConfig, n: usize, seed: u64
     let mut counts = PacketCounts::default();
     for _ in 0..n {
         let rx_wave = channel.apply(&tx_wave, &mut rng);
-        let result = rx.receive_ble_adv(&rx_wave, cfg.ble_channel);
+        let result = rx.receive_ble_adv(&rx_wave, cfg.ble_channel.index());
         match result.decode {
             Some(bluefi_bt::ble::AdvDecode::Ok(_)) => counts.ok += 1,
             Some(_) => counts.crc_error += 1,

@@ -9,7 +9,7 @@
 //! effective PHY efficiency calibrated so the baseline lands at the paper's
 //! ≈ 48.8 Mbps iPerf3 number.
 
-use rand::Rng;
+use bluefi_core::rng::Rng;
 
 /// DCF slot time, µs.
 const SLOT_US: f64 = 9.0;
@@ -152,8 +152,7 @@ pub fn fig7b_scenarios<R: Rng>(duration_s: usize, rng: &mut R) -> Vec<(&'static 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use bluefi_core::rng::{SeedableRng, StdRng};
 
     #[test]
     fn baseline_lands_near_48_8_mbps() {

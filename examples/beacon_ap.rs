@@ -23,7 +23,7 @@ fn main() {
     };
     println!("beacon config: {:?}", cfg.format);
 
-    let packets = build_beacon(&cfg, &BlueFi::default(), 1);
+    let packets = build_beacon(&cfg, &BlueFi::default(), 1).expect("valid channels");
     for (ch, syn) in &packets.per_channel {
         println!(
             "  BLE channel {ch}: WiFi channel {}, {} bytes PSDU, {} symbols",

@@ -10,8 +10,7 @@ use bluefi::sim::channel::{Channel, ChannelConfig};
 use bluefi::wifi::channels::{bt_channel_freq_hz, subcarrier_in_channel};
 use bluefi::wifi::subcarriers::SUBCARRIER_SPACING_HZ;
 use bluefi::wifi::ChipModel;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use bluefi::core::rng::{SeedableRng, StdRng};
 
 #[test]
 fn one_audio_packet_roundtrips_to_sbc_frames() {

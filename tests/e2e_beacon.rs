@@ -29,7 +29,7 @@ fn ibeacon_survives_the_full_stack_loopback() {
             channels: vec![38],
             ..Default::default()
         };
-        let packets = build_beacon(&cfg, &bf, 1);
+        let packets = build_beacon(&cfg, &bf, 1).expect("valid channels");
         assert!(!packets.per_channel.is_empty());
         for (ch, syn) in &packets.per_channel {
             let out = loopback_ble(syn, &ChipModel::ar9331(), *ch);
@@ -76,7 +76,7 @@ fn seed_prediction_keeps_incrementing_chips_decodable() {
     let mut synced = 0;
     for pkt in 0..6 {
         let seed = chip.seed_policy.predict(0);
-        let packets = build_beacon(&cfg, &bf, seed);
+        let packets = build_beacon(&cfg, &bf, seed).expect("valid channels");
         let (ch, syn) = &packets.per_channel[0];
         // The chip consumes a seed for this transmission.
         let ppdu = chip.transmit(&syn.psdu, syn.mcs, 18.0);

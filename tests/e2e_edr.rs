@@ -19,8 +19,7 @@ fn pattern(n: usize, k: usize) -> Vec<bool> {
 fn edr_over_bluefi(scheme: EdrScheme) -> f64 {
     let p = GfskParams::default();
     let bits = pattern(scheme.bits_per_symbol() * 60, 5);
-    let plan = ChannelPlan::pinned(3, 13.0);
-    let offset_hz = 13.0 * SUBCARRIER_SPACING_HZ;
+    let offset_hz = ChannelPlan::pinned(3, 13.0).subcarrier * SUBCARRIER_SPACING_HZ;
     let phase = edr_modulate_phase(&bits, scheme, &p, offset_hz);
 
     // The pipeline's stages are phase-generic: run them on the DPSK phase.

@@ -6,8 +6,7 @@ use bluefi::core::pipeline::BlueFi;
 use bluefi::core::verify::{transmit, tuned_receiver};
 use bluefi::sim::channel::{Channel, ChannelConfig};
 use bluefi::wifi::ChipModel;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use bluefi::core::rng::{SeedableRng, StdRng};
 
 fn pdu() -> AdvPdu {
     AdvPdu {

@@ -1,0 +1,129 @@
+//! Guard test for the zero-dependency policy.
+//!
+//! The tier-1 gate (`cargo build --release --offline && cargo test -q
+//! --offline`) only works because every crate in the workspace depends
+//! exclusively on sibling `bluefi-*` crates. This test walks every
+//! `Cargo.toml` in the workspace and fails if any dependency section names
+//! a crate that is not part of the workspace, so a stray `cargo add` is
+//! caught locally before it can break the offline build.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Section headers whose entries must all be `bluefi-*` crates.
+const DEP_SECTIONS: [&str; 5] = [
+    "dependencies",
+    "dev-dependencies",
+    "build-dependencies",
+    "workspace.dependencies",
+    "target", // any `[target.'cfg(..)'.dependencies]` style table
+];
+
+fn manifest_paths() -> Vec<PathBuf> {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut out = vec![root.join("Cargo.toml")];
+    let crates = root.join("crates");
+    let entries = fs::read_dir(&crates).expect("crates/ directory exists");
+    for entry in entries {
+        let manifest = entry.expect("readable dir entry").path().join("Cargo.toml");
+        if manifest.is_file() {
+            out.push(manifest);
+        }
+    }
+    out
+}
+
+/// True if the `[section]` header opens a dependency table.
+fn is_dep_section(header: &str) -> bool {
+    DEP_SECTIONS.iter().any(|s| {
+        header == *s
+            || header.ends_with(&format!(".{s}"))
+            || (*s == "target" && header.starts_with("target.") && header.contains("dependencies"))
+    })
+}
+
+/// Extract the dependency name from a line inside a dependency table.
+/// Handles `name = "1.0"`, `name = { .. }`, and `name.workspace = true`.
+fn dep_name(line: &str) -> Option<&str> {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') || line.starts_with('[') {
+        return None;
+    }
+    let key = line.split('=').next()?.trim();
+    // `bluefi-core.workspace = true` → take the part before the first dot.
+    let name = key.split('.').next()?.trim().trim_matches('"');
+    if name.is_empty() {
+        None
+    } else {
+        Some(name)
+    }
+}
+
+#[test]
+fn workspace_has_no_external_dependencies() {
+    let mut violations = Vec::new();
+    let manifests = manifest_paths();
+    assert!(
+        manifests.len() >= 9,
+        "expected the workspace root + 8 crate manifests, found {}",
+        manifests.len()
+    );
+
+    for manifest in &manifests {
+        let text = fs::read_to_string(manifest)
+            .unwrap_or_else(|e| panic!("cannot read {}: {e}", manifest.display()));
+        let mut in_dep_section = false;
+        for (lineno, line) in text.lines().enumerate() {
+            let trimmed = line.trim();
+            if trimmed.starts_with('[') {
+                let header = trimmed.trim_matches(|c| c == '[' || c == ']');
+                in_dep_section = is_dep_section(header);
+                continue;
+            }
+            if !in_dep_section {
+                continue;
+            }
+            if let Some(name) = dep_name(trimmed) {
+                if !name.starts_with("bluefi") {
+                    violations.push(format!(
+                        "{}:{}: external dependency `{}`",
+                        manifest.display(),
+                        lineno + 1,
+                        name
+                    ));
+                }
+            }
+        }
+    }
+
+    assert!(
+        violations.is_empty(),
+        "hermetic-build policy violated — non-bluefi dependencies found:\n{}",
+        violations.join("\n")
+    );
+}
+
+#[test]
+fn manifests_never_reference_registry_crates_by_name() {
+    // Belt-and-braces: the historical external crates must not reappear
+    // anywhere in any manifest, even commented-out or renamed.
+    let banned = ["rand", "proptest", "criterion", "crossbeam", "parking_lot", "serde", "bytes"];
+    for manifest in manifest_paths() {
+        let text = fs::read_to_string(&manifest).expect("readable manifest");
+        for b in banned {
+            for (lineno, line) in text.lines().enumerate() {
+                // Whole-word match so e.g. a crate named `bluefi-random` would
+                // not false-positive but `rand = "0.8"` would be caught.
+                let hit = line.split(|c: char| !(c.is_alphanumeric() || c == '_')).any(|w| w == b);
+                assert!(
+                    !hit,
+                    "{}:{}: banned crate name `{}` in line: {}",
+                    manifest.display(),
+                    lineno + 1,
+                    b,
+                    line.trim()
+                );
+            }
+        }
+    }
+}
