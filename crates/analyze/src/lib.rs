@@ -1,0 +1,348 @@
+//! # bluefi-analyze
+//!
+//! In-tree static analysis for the BlueFi workspace — the standing
+//! correctness gate behind `tests/analyze_gate.rs` and the
+//! `cargo run -p bluefi-analyze` report. Zero dependencies, token-level
+//! (no external parser), consistent with the hermetic-build policy.
+//!
+//! Rules:
+//!
+//! * **R1 no-panic** — no `.unwrap()` / `.expect(` / `panic!` /
+//!   `unimplemented!` / `todo!` in library code outside `#[cfg(test)]`;
+//!   escape hatch `// lint: allow(panic) <reason>`.
+//! * **R2 no-unsafe** — no `unsafe` outside [`rules::UNSAFE_ALLOWLIST`];
+//!   every crate carries `#![forbid(unsafe_code)]`.
+//! * **R3 hermetic-manifests** — no non-`bluefi` dependencies in any
+//!   `Cargo.toml` (absorbed from the former `tests/hermetic.rs`).
+//! * **R4 doc-comments** — every `pub fn` in `dsp`/`wifi`/`core` carries a
+//!   doc comment.
+//! * **R5 no-float-eq** — no `==`/`!=` against float operands in signal
+//!   code (`dsp`/`wifi`/`bt`/`core`); escape hatch
+//!   `// lint: allow(float-eq) <reason>`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod manifests;
+pub mod rules;
+pub mod source;
+
+use source::SourceFile;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// The lint rules, in reporting order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rule {
+    /// R1 — no panic-family calls in library code.
+    NoPanics,
+    /// R2 — no `unsafe` outside the allowlist.
+    NoUnsafe,
+    /// R3 — hermetic manifests (workspace-internal dependencies only).
+    HermeticManifests,
+    /// R4 — doc comments on every public function in `dsp`/`wifi`/`core`.
+    DocComments,
+    /// R5 — no floating-point equality in signal code.
+    NoFloatEq,
+}
+
+impl Rule {
+    /// All rules in reporting order.
+    pub const ALL: [Rule; 5] = [
+        Rule::NoPanics,
+        Rule::NoUnsafe,
+        Rule::HermeticManifests,
+        Rule::DocComments,
+        Rule::NoFloatEq,
+    ];
+
+    /// Short code, `R1`..`R5`.
+    pub fn code(self) -> &'static str {
+        match self {
+            Rule::NoPanics => "R1",
+            Rule::NoUnsafe => "R2",
+            Rule::HermeticManifests => "R3",
+            Rule::DocComments => "R4",
+            Rule::NoFloatEq => "R5",
+        }
+    }
+
+    /// Human-readable rule name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::NoPanics => "no-panic",
+            Rule::NoUnsafe => "no-unsafe",
+            Rule::HermeticManifests => "hermetic-manifests",
+            Rule::DocComments => "doc-comments",
+            Rule::NoFloatEq => "no-float-eq",
+        }
+    }
+}
+
+/// One `file:line` finding.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// The rule that fired.
+    pub rule: Rule,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong and how to fix it.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Builds a diagnostic.
+    pub fn new(rule: Rule, file: &str, line: usize, message: String) -> Diagnostic {
+        Diagnostic { rule, file: file.to_string(), line, message }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{} {}] {}",
+            self.file,
+            self.line,
+            self.rule.code(),
+            self.rule.name(),
+            self.message
+        )
+    }
+}
+
+/// Which rules apply to a workspace-relative source path.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Scope {
+    /// R1 applies (library code: `crates/*/src`, excluding binary targets).
+    pub no_panics: bool,
+    /// R2 applies (all in-crate sources).
+    pub no_unsafe: bool,
+    /// R4 applies (`dsp`/`wifi`/`core` public API).
+    pub doc_comments: bool,
+    /// R5 applies (signal crates: `dsp`/`wifi`/`bt`/`core`).
+    pub no_float_eq: bool,
+}
+
+/// Decides rule scope from a workspace-relative path like
+/// `crates/dsp/src/fft.rs`.
+pub fn scope_for(rel_path: &str) -> Scope {
+    let norm = rel_path.replace('\\', "/");
+    let mut parts = norm.split('/');
+    if parts.next() != Some("crates") {
+        return Scope::default();
+    }
+    let Some(krate) = parts.next() else { return Scope::default() };
+    if parts.next() != Some("src") {
+        return Scope::default();
+    }
+    let rest: Vec<&str> = parts.collect();
+    let is_binary = rest.first() == Some(&"bin") || rest == ["main.rs"];
+    Scope {
+        no_panics: !is_binary,
+        no_unsafe: true,
+        doc_comments: !is_binary && matches!(krate, "dsp" | "wifi" | "core"),
+        no_float_eq: !is_binary && matches!(krate, "dsp" | "wifi" | "bt" | "core"),
+    }
+}
+
+/// Runs every applicable source rule over one file's text.
+pub fn scan_source(rel_path: &str, text: &str) -> Vec<Diagnostic> {
+    let scope = scope_for(rel_path);
+    let file = SourceFile::parse(rel_path, text);
+    let mut out = Vec::new();
+    if scope.no_panics {
+        out.extend(rules::r1_no_panics(&file));
+    }
+    if scope.no_unsafe {
+        out.extend(rules::r2_no_unsafe(&file));
+    }
+    if scope.doc_comments {
+        out.extend(rules::r4_doc_comments(&file));
+    }
+    if scope.no_float_eq {
+        out.extend(rules::r5_no_float_eq(&file));
+    }
+    out
+}
+
+/// The result of a full workspace pass.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Every finding, in path order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Number of `Cargo.toml` manifests scanned.
+    pub manifests_scanned: usize,
+}
+
+impl Report {
+    /// True when no rule fired.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Findings per rule, in [`Rule::ALL`] order.
+    pub fn counts(&self) -> [usize; 5] {
+        let mut counts = [0usize; 5];
+        for d in &self.diagnostics {
+            let idx = Rule::ALL.iter().position(|r| *r == d.rule).unwrap_or(0);
+            counts[idx] += 1;
+        }
+        counts
+    }
+
+    /// One-line machine-readable summary, e.g.
+    /// `R1=0 R2=0 R3=0 R4=0 R5=0 total=0 files=58 manifests=10 status=clean`.
+    pub fn summary(&self) -> String {
+        let counts = self.counts();
+        let per_rule: Vec<String> = Rule::ALL
+            .iter()
+            .zip(counts)
+            .map(|(r, c)| format!("{}={c}", r.code()))
+            .collect();
+        format!(
+            "{} total={} files={} manifests={} status={}",
+            per_rule.join(" "),
+            self.diagnostics.len(),
+            self.files_scanned,
+            self.manifests_scanned,
+            if self.is_clean() { "clean" } else { "dirty" }
+        )
+    }
+
+    /// Full human-readable report: findings grouped by rule, then the
+    /// machine-readable summary line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for rule in Rule::ALL {
+            let diags: Vec<&Diagnostic> =
+                self.diagnostics.iter().filter(|d| d.rule == rule).collect();
+            out.push_str(&format!(
+                "{} {:<18} {} finding(s)\n",
+                rule.code(),
+                rule.name(),
+                diags.len()
+            ));
+            for d in diags {
+                out.push_str(&format!("  {d}\n"));
+            }
+        }
+        out.push_str(&self.summary());
+        out.push('\n');
+        out
+    }
+}
+
+/// Scans the whole workspace rooted at `root` (the directory holding the
+/// top-level `Cargo.toml`): all `crates/*/src/**/*.rs` sources plus every
+/// manifest. Fails with a message when the tree cannot be read.
+pub fn analyze_workspace(root: &Path) -> Result<Report, String> {
+    let mut report = Report::default();
+
+    // Sources.
+    let crates_dir = root.join("crates");
+    for crate_dir in sorted_dirs(&crates_dir)? {
+        let src = crate_dir.join("src");
+        if !src.is_dir() {
+            continue;
+        }
+        for file in rust_files(&src)? {
+            let rel = relative_to(&file, root);
+            let text = std::fs::read_to_string(&file)
+                .map_err(|e| format!("cannot read {}: {e}", file.display()))?;
+            report.diagnostics.extend(scan_source(&rel, &text));
+            report.files_scanned += 1;
+        }
+    }
+
+    // Manifests: workspace root + one per crate.
+    let mut manifest_paths = vec![root.join("Cargo.toml")];
+    for crate_dir in sorted_dirs(&crates_dir)? {
+        let m = crate_dir.join("Cargo.toml");
+        if m.is_file() {
+            manifest_paths.push(m);
+        }
+    }
+    for m in manifest_paths {
+        let rel = relative_to(&m, root);
+        let text = std::fs::read_to_string(&m)
+            .map_err(|e| format!("cannot read {}: {e}", m.display()))?;
+        report.diagnostics.extend(manifests::scan_manifest(&rel, &text));
+        report.manifests_scanned += 1;
+    }
+
+    report
+        .diagnostics
+        .sort_by(|a, b| (a.file.as_str(), a.line).cmp(&(b.file.as_str(), b.line)));
+    Ok(report)
+}
+
+fn sorted_dirs(dir: &Path) -> Result<Vec<PathBuf>, String> {
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    let mut out = Vec::new();
+    for entry in entries {
+        let path = entry.map_err(|e| format!("bad dir entry: {e}"))?.path();
+        if path.is_dir() {
+            out.push(path);
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// All `.rs` files under `dir`, recursively, sorted.
+fn rust_files(dir: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut out = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        let entries =
+            std::fs::read_dir(&d).map_err(|e| format!("cannot read {}: {e}", d.display()))?;
+        for entry in entries {
+            let path = entry.map_err(|e| format!("bad dir entry: {e}"))?.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn relative_to(path: &Path, root: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_rules() {
+        let s = scope_for("crates/dsp/src/fft.rs");
+        assert!(s.no_panics && s.no_unsafe && s.doc_comments && s.no_float_eq);
+        let s = scope_for("crates/sim/src/mac.rs");
+        assert!(s.no_panics && s.no_unsafe && !s.doc_comments && !s.no_float_eq);
+        let s = scope_for("crates/bench/src/bin/fig5_distance.rs");
+        assert!(!s.no_panics && s.no_unsafe && !s.doc_comments);
+        let s = scope_for("tests/e2e_audio.rs");
+        assert!(!s.no_panics && !s.no_unsafe);
+    }
+
+    #[test]
+    fn summary_is_machine_readable() {
+        let mut r = Report { files_scanned: 3, manifests_scanned: 2, ..Default::default() };
+        assert_eq!(r.summary(), "R1=0 R2=0 R3=0 R4=0 R5=0 total=0 files=3 manifests=2 status=clean");
+        r.diagnostics.push(Diagnostic::new(Rule::NoPanics, "x.rs", 1, "m".into()));
+        assert!(r.summary().contains("R1=1") && r.summary().ends_with("status=dirty"));
+    }
+}

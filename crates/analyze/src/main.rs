@@ -1,0 +1,30 @@
+//! `cargo run -p bluefi-analyze` — prints the full lint report for the
+//! workspace and exits nonzero when any rule fires, so it can double as a
+//! local pre-push check. The same pass runs under `cargo test` via
+//! `tests/analyze_gate.rs`.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    // The analyze crate lives at `<workspace>/crates/analyze`.
+    let manifest_dir = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = manifest_dir
+        .parent()
+        .and_then(|p| p.parent())
+        .unwrap_or(manifest_dir);
+    match bluefi_analyze::analyze_workspace(root) {
+        Ok(report) => {
+            print!("{}", report.render());
+            if report.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("bluefi-analyze: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! R3 — hermetic-manifest policy.
+//!
+//! The tier-1 gate (`cargo build --release && cargo test -q`) only works
+//! offline because every crate depends exclusively on sibling `bluefi-*`
+//! crates. This module (which absorbed the former `tests/hermetic.rs`
+//! guard) scans every `Cargo.toml` and reports:
+//!
+//! * any dependency-section entry that is not a `bluefi*` crate, and
+//! * any mention of the historically vendored registry crates (`rand`,
+//!   `serde`, ...) anywhere in a manifest, even commented out.
+
+use crate::{Diagnostic, Rule};
+
+/// Section headers whose entries must all be `bluefi*` crates.
+const DEP_SECTIONS: [&str; 5] = [
+    "dependencies",
+    "dev-dependencies",
+    "build-dependencies",
+    "workspace.dependencies",
+    "target", // any `[target.'cfg(..)'.dependencies]` style table
+];
+
+/// Registry crates that must never reappear in any manifest (the in-tree
+/// replacements live in `bluefi-core`).
+const BANNED_NAMES: [&str; 7] =
+    ["rand", "proptest", "criterion", "crossbeam", "parking_lot", "serde", "bytes"];
+
+/// True if the `[section]` header opens a dependency table.
+fn is_dep_section(header: &str) -> bool {
+    DEP_SECTIONS.iter().any(|s| {
+        header == *s
+            || header.ends_with(&format!(".{s}"))
+            || (*s == "target" && header.starts_with("target.") && header.contains("dependencies"))
+    })
+}
+
+/// Extracts the dependency name from a line inside a dependency table.
+/// Handles `name = "1.0"`, `name = { .. }`, and `name.workspace = true`.
+fn dep_name(line: &str) -> Option<&str> {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') || line.starts_with('[') {
+        return None;
+    }
+    let key = line.split('=').next()?.trim();
+    // `bluefi-core.workspace = true` -> the part before the first dot.
+    let name = key.split('.').next()?.trim().trim_matches('"');
+    if name.is_empty() {
+        None
+    } else {
+        Some(name)
+    }
+}
+
+/// Scans one manifest's text; `rel_path` is used in diagnostics.
+pub fn scan_manifest(rel_path: &str, text: &str) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let mut in_dep_section = false;
+    for (lineno, line) in text.lines().enumerate() {
+        let trimmed = line.trim();
+        if trimmed.starts_with('[') {
+            let header = trimmed.trim_matches(|c| c == '[' || c == ']');
+            in_dep_section = is_dep_section(header);
+        } else if in_dep_section {
+            if let Some(name) = dep_name(trimmed) {
+                if !name.starts_with("bluefi") {
+                    out.push(Diagnostic::new(
+                        Rule::HermeticManifests,
+                        rel_path,
+                        lineno + 1,
+                        format!("external dependency `{name}` breaks the offline build"),
+                    ));
+                }
+            }
+        }
+        // Belt-and-braces: banned crate names anywhere, even commented out
+        // or outside dependency tables (whole-word match, so a crate named
+        // `bluefi-random` would not false-positive).
+        for banned in BANNED_NAMES {
+            let hit = line
+                .split(|c: char| !(c.is_alphanumeric() || c == '_'))
+                .any(|w| w == banned);
+            if hit {
+                out.push(Diagnostic::new(
+                    Rule::HermeticManifests,
+                    rel_path,
+                    lineno + 1,
+                    format!("banned registry crate name `{banned}` mentioned in manifest"),
+                ));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_manifest_passes() {
+        let text = "[package]\nname = \"bluefi-x\"\n[dependencies]\nbluefi-dsp.workspace = true\n";
+        assert!(scan_manifest("Cargo.toml", text).is_empty());
+    }
+
+    #[test]
+    fn external_dep_and_banned_name_flagged() {
+        let text = "[dependencies]\nrand = \"0.8\"\nbluefi-dsp.workspace = true\n";
+        let d = scan_manifest("Cargo.toml", text);
+        // `rand` trips both the dep-section check and the banned-name scan.
+        assert_eq!(d.len(), 2);
+        assert_eq!(d[0].line, 2);
+    }
+
+    #[test]
+    fn dev_and_target_sections_are_checked() {
+        let text = "[dev-dependencies]\nproptest = \"1\"\n[target.'cfg(unix)'.dependencies]\nlibc = \"0.2\"\n";
+        let d = scan_manifest("Cargo.toml", text);
+        assert_eq!(d.len(), 3); // proptest (x2: dep + banned) + libc
+    }
+}

@@ -1,0 +1,301 @@
+//! The source-level lint rules (R1, R2, R4, R5).
+//!
+//! Each rule walks the [`SourceFile`] line model and emits `file:line`
+//! diagnostics. Scope (which crates/files a rule applies to) is decided by
+//! [`crate::scope_for`] from the workspace-relative path; the rule bodies
+//! only look at line content.
+
+use crate::source::{Line, SourceFile};
+use crate::{Diagnostic, Rule};
+
+/// Escape-hatch names accepted by each rule.
+pub const ALLOW_PANIC: &str = "panic";
+/// Hatch name for R2.
+pub const ALLOW_UNSAFE: &str = "unsafe";
+/// Hatch name for R5.
+pub const ALLOW_FLOAT_EQ: &str = "float-eq";
+
+/// Files allowed to contain `unsafe` (R2 allowlist). Empty: the workspace
+/// is `unsafe`-free and every crate carries `#![forbid(unsafe_code)]`.
+pub const UNSAFE_ALLOWLIST: &[&str] = &[];
+
+fn allowed(line: &Line, hatch: &str) -> bool {
+    line.allows.iter().any(|a| a == hatch)
+}
+
+/// R1 — panic-family calls in library code.
+///
+/// Flags `.unwrap()`, `.expect(`, `panic!`, `unimplemented!` and `todo!`
+/// outside `#[cfg(test)]` items, unless the line carries a
+/// `// lint: allow(panic) <reason>` hatch.
+pub fn r1_no_panics(file: &SourceFile) -> Vec<Diagnostic> {
+    const NEEDLES: [&str; 5] =
+        [".unwrap()", ".expect(", "panic!", "unimplemented!", "todo!"];
+    let mut out = Vec::new();
+    for (i, line) in file.lines.iter().enumerate() {
+        if line.in_test || allowed(line, ALLOW_PANIC) {
+            continue;
+        }
+        for needle in NEEDLES {
+            if let Some(found) = find_needle(&line.code, needle) {
+                out.push(Diagnostic::new(
+                    Rule::NoPanics,
+                    &file.rel_path,
+                    i + 1,
+                    format!(
+                        "`{found}` in library code — return Result/Option or add \
+                         `// lint: allow(panic) <reason>`"
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Finds `needle` in `code`, rejecting matches that merely extend a longer
+/// identifier (so `debug_assert!`-style neighbors or `xpanic!` never hit).
+fn find_needle(code: &str, needle: &str) -> Option<String> {
+    // Needles opening with `.` are self-delimiting; identifier-led needles
+    // (`panic!` etc.) must not match inside a longer name.
+    let check_prefix = needle.starts_with(|c: char| c.is_alphanumeric() || c == '_');
+    let mut from = 0usize;
+    while let Some(pos) = code[from..].find(needle) {
+        let at = from + pos;
+        let pre_ok = !check_prefix
+            || at == 0
+            || !code[..at]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if pre_ok {
+            return Some(needle.trim_end_matches(['(', ')']).to_string());
+        }
+        from = at + needle.len();
+    }
+    None
+}
+
+/// R2 — `unsafe` outside the allowlist.
+pub fn r2_no_unsafe(file: &SourceFile) -> Vec<Diagnostic> {
+    if UNSAFE_ALLOWLIST.contains(&file.rel_path.as_str()) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for (i, line) in file.lines.iter().enumerate() {
+        if allowed(line, ALLOW_UNSAFE) {
+            continue;
+        }
+        let hit = line
+            .code
+            .split(|c: char| !(c.is_alphanumeric() || c == '_'))
+            .any(|w| w == "unsafe");
+        if hit {
+            out.push(Diagnostic::new(
+                Rule::NoUnsafe,
+                &file.rel_path,
+                i + 1,
+                "`unsafe` outside the allowlist — remove it or extend \
+                 UNSAFE_ALLOWLIST / add `// lint: allow(unsafe) <reason>`"
+                    .to_string(),
+            ));
+        }
+    }
+    out
+}
+
+/// R4 — every `pub fn` needs a doc comment.
+///
+/// A `pub fn` (also `pub const fn` / `pub async fn`) must be directly
+/// preceded by a `///` doc comment or `#[doc = ...]`, with only attribute
+/// lines in between. Restricted-visibility functions (`pub(crate)` etc.)
+/// and test code are exempt.
+pub fn r4_doc_comments(file: &SourceFile) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (i, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        let trimmed = line.code.trim_start();
+        let is_pub_fn = ["pub fn ", "pub const fn ", "pub async fn ", "pub unsafe fn "]
+            .iter()
+            .any(|p| trimmed.starts_with(p));
+        if !is_pub_fn {
+            continue;
+        }
+        if !has_doc_above(file, i) {
+            let name = trimmed
+                .split("fn ")
+                .nth(1)
+                .and_then(|r| r.split(['(', '<', ' ']).next())
+                .unwrap_or("?");
+            out.push(Diagnostic::new(
+                Rule::DocComments,
+                &file.rel_path,
+                i + 1,
+                format!("public function `{name}` has no doc comment"),
+            ));
+        }
+    }
+    out
+}
+
+fn has_doc_above(file: &SourceFile, mut i: usize) -> bool {
+    while i > 0 {
+        i -= 1;
+        let raw = file.lines[i].raw.trim_start();
+        if raw.starts_with("///") || raw.starts_with("#[doc") || raw.starts_with("/**") {
+            return true;
+        }
+        // Skip attributes (and continuation lines of multi-line attributes,
+        // which end with `]` or `)]`).
+        if raw.starts_with("#[") || raw.ends_with(")]") {
+            continue;
+        }
+        return false;
+    }
+    false
+}
+
+/// R5 — floating-point `==` / `!=` in signal code.
+///
+/// Token-level: an equality whose left or right operand is a float literal
+/// (`0.0`, `1e-3f64`, `1f32`) or an `f32::` / `f64::` associated constant.
+/// Exact float comparison silently breaks under the pipeline's quantized
+/// arithmetic; compare against a tolerance instead.
+pub fn r5_no_float_eq(file: &SourceFile) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (i, line) in file.lines.iter().enumerate() {
+        if line.in_test || allowed(line, ALLOW_FLOAT_EQ) {
+            continue;
+        }
+        for op in ["==", "!="] {
+            let mut from = 0usize;
+            while let Some(pos) = line.code[from..].find(op) {
+                let at = from + pos;
+                from = at + op.len();
+                // Not part of `<=`, `>=`, `=>`, `===`-like runs.
+                let before = line.code[..at].chars().next_back();
+                let after = line.code[at + op.len()..].chars().next();
+                if matches!(before, Some('<') | Some('>') | Some('=') | Some('!'))
+                    || after == Some('=')
+                {
+                    continue;
+                }
+                let lhs = last_token(&line.code[..at]);
+                let rhs = first_token(&line.code[at + op.len()..]);
+                if is_float_token(&lhs) || is_float_token(&rhs) {
+                    out.push(Diagnostic::new(
+                        Rule::NoFloatEq,
+                        &file.rel_path,
+                        i + 1,
+                        format!(
+                            "float equality `{lhs} {op} {rhs}` in signal code — compare \
+                             with a tolerance or add `// lint: allow(float-eq) <reason>`"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+fn token_char(c: char) -> bool {
+    c.is_alphanumeric() || matches!(c, '_' | '.' | ':')
+}
+
+fn last_token(s: &str) -> String {
+    s.trim_end()
+        .chars()
+        .rev()
+        .take_while(|&c| token_char(c))
+        .collect::<Vec<_>>()
+        .into_iter()
+        .rev()
+        .collect()
+}
+
+fn first_token(s: &str) -> String {
+    let s = s.trim_start();
+    let neg = s.starts_with('-');
+    let body: String = s
+        .chars()
+        .skip(usize::from(neg))
+        .take_while(|&c| token_char(c))
+        .collect();
+    if neg {
+        format!("-{body}")
+    } else {
+        body
+    }
+}
+
+fn is_float_token(tok: &str) -> bool {
+    if tok.contains("f32::") || tok.contains("f64::") {
+        return true;
+    }
+    let t = tok.strip_prefix('-').unwrap_or(tok);
+    let (t, suffixed) = match t.strip_suffix("f64").or_else(|| t.strip_suffix("f32")) {
+        Some(stripped) => (stripped, true),
+        None => (t, false),
+    };
+    let mut chars = t.chars();
+    let Some(first) = chars.next() else { return false };
+    if !first.is_ascii_digit() {
+        return false;
+    }
+    let numeric = t
+        .chars()
+        .all(|c| c.is_ascii_digit() || matches!(c, '.' | '_' | 'e' | 'E' | '+' | '-'));
+    // An integer literal (`52`, `1_000`) only becomes float-like with a
+    // decimal point, an exponent, or an explicit f32/f64 suffix.
+    numeric && (t.contains('.') || t.contains('e') || t.contains('E') || suffixed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(rule: fn(&SourceFile) -> Vec<Diagnostic>, src: &str) -> Vec<Diagnostic> {
+        rule(&SourceFile::parse("crates/dsp/src/x.rs", src))
+    }
+
+    #[test]
+    fn r1_flags_each_family_member() {
+        let src = "a.unwrap();\nb.expect(\"x\");\npanic!(\"y\");\nunimplemented!();\ntodo!();";
+        assert_eq!(scan(r1_no_panics, src).len(), 5);
+    }
+
+    #[test]
+    fn r1_skips_unwrap_or_variants() {
+        let src = "a.unwrap_or(0);\nb.unwrap_or_else(|| 1);\nc.unwrap_or_default();";
+        assert!(scan(r1_no_panics, src).is_empty());
+    }
+
+    #[test]
+    fn r1_skips_should_panic_and_debug_assert() {
+        let src = "#[should_panic(expected = \"x\")]\ndebug_assert!(a);";
+        assert!(scan(r1_no_panics, src).is_empty());
+    }
+
+    #[test]
+    fn r5_literal_comparisons() {
+        assert_eq!(scan(r5_no_float_eq, "if x == 0.0 {}").len(), 1);
+        assert_eq!(scan(r5_no_float_eq, "if x != 1e-9 {}").len(), 1);
+        assert_eq!(scan(r5_no_float_eq, "if y == f64::NEG_INFINITY {}").len(), 1);
+        assert!(scan(r5_no_float_eq, "if n == 1 {}").is_empty());
+        assert!(scan(r5_no_float_eq, "if n <= 1.0 {}").is_empty());
+        assert!(scan(r5_no_float_eq, "let f = |x| x => 1.0;").is_empty());
+    }
+
+    #[test]
+    fn r4_requires_docs() {
+        let src = "/// Doc.\npub fn documented() {}\npub fn bare() {}\n\
+                   /// Doc.\n#[inline]\npub fn attributed() {}\npub(crate) fn internal() {}";
+        let d = scan(r4_doc_comments, src);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("`bare`"));
+        assert_eq!(d[0].line, 3);
+    }
+}

@@ -1,0 +1,29 @@
+//! R1 fixture: five panic-family violations, one hatch-suppressed call,
+//! and a `#[cfg(test)]` module the rule must ignore.
+
+/// Five ways to blow up.
+pub fn five_violations(x: Option<u32>, y: Result<u32, ()>) -> u32 {
+    let a = x.unwrap();
+    let b = y.expect("value");
+    if a + b > 100 {
+        panic!("too big");
+    }
+    if a == 9 {
+        unimplemented!();
+    }
+    todo!()
+}
+
+/// Suppressed by the escape hatch (reason required).
+pub fn suppressed(x: Option<u32>) -> u32 {
+    // lint: allow(panic) fixtures demonstrate the escape hatch
+    x.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        None::<u32>.unwrap();
+    }
+}

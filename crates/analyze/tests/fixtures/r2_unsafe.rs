@@ -1,0 +1,12 @@
+//! R2 fixture: one `unsafe` block (flagged) and one hatch-suppressed.
+
+/// Reads a byte the hard way.
+pub fn flagged(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+/// Suppressed by the escape hatch.
+pub fn suppressed(p: *const u8) -> u8 {
+    // lint: allow(unsafe) fixtures demonstrate the hatch
+    unsafe { *p }
+}

@@ -1,0 +1,16 @@
+//! R4 fixture: one undocumented `pub fn`; documented, attribute-stacked,
+//! and restricted-visibility functions must all pass.
+
+/// Documented.
+pub fn documented() {}
+
+pub fn bare() {}
+
+/// Documented through an attribute stack.
+#[inline]
+#[must_use]
+pub fn attributed() -> u32 {
+    42
+}
+
+pub(crate) fn restricted() {}

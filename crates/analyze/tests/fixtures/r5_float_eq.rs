@@ -1,0 +1,17 @@
+//! R5 fixture: two float equalities (a literal and an associated
+//! constant), one suppressed; integer and ordering comparisons untouched.
+
+/// Compares floats exactly — twice.
+pub fn flagged(x: f64, y: f64, n: usize) -> bool {
+    let a = x == 0.0;
+    let b = y != f64::INFINITY;
+    let c = n == 52;
+    let d = x <= 1.0;
+    a && b && c && d
+}
+
+/// Suppressed sentinel comparison.
+pub fn suppressed(offset: f64) -> bool {
+    // lint: allow(float-eq) exact 0.0 is a sentinel in this fixture
+    offset == 0.0
+}

@@ -1,0 +1,91 @@
+//! Proves every rule fires: each fixture under `tests/fixtures/` carries a
+//! known set of violations (plus suppressed/exempt cases), and these tests
+//! pin the exact diagnostic counts, lines, and `file:line` rendering.
+//!
+//! Fixtures are scanned under *virtual* workspace paths (e.g.
+//! `crates/dsp/src/...`) so the scope rules treat them as signal-crate
+//! library code; the files themselves are never compiled.
+
+use bluefi_analyze::{manifests, scan_source, Rule};
+
+fn lines_of(diags: &[bluefi_analyze::Diagnostic], rule: Rule) -> Vec<usize> {
+    diags.iter().filter(|d| d.rule == rule).map(|d| d.line).collect()
+}
+
+#[test]
+fn r1_fires_on_every_panic_family_member() {
+    let src = include_str!("fixtures/r1_panics.rs");
+    let diags = scan_source("crates/dsp/src/r1_panics.rs", src);
+    // unwrap, expect, panic!, unimplemented!, todo! — and nothing else:
+    // the hatched call and the #[cfg(test)] module stay silent.
+    assert_eq!(diags.len(), 5, "{diags:#?}");
+    assert!(diags.iter().all(|d| d.rule == Rule::NoPanics));
+    assert_eq!(lines_of(&diags, Rule::NoPanics), vec![6, 7, 9, 12, 14]);
+    assert_eq!(
+        diags[0].to_string(),
+        "crates/dsp/src/r1_panics.rs:6: [R1 no-panic] `.unwrap` in library code — \
+         return Result/Option or add `// lint: allow(panic) <reason>`"
+    );
+}
+
+#[test]
+fn r2_fires_on_unallowlisted_unsafe() {
+    let src = include_str!("fixtures/r2_unsafe.rs");
+    let diags = scan_source("crates/dsp/src/r2_unsafe.rs", src);
+    assert_eq!(diags.len(), 1, "{diags:#?}");
+    assert_eq!(diags[0].rule, Rule::NoUnsafe);
+    assert_eq!(diags[0].line, 5);
+    assert!(diags[0].to_string().starts_with("crates/dsp/src/r2_unsafe.rs:5: [R2 no-unsafe]"));
+}
+
+#[test]
+fn r3_fires_on_external_and_banned_dependencies() {
+    let text = include_str!("fixtures/r3_manifest.toml");
+    let diags = manifests::scan_manifest("crates/fixture/NotCargo.toml", text);
+    // serde: external dep + banned name (2 findings, same line);
+    // quickcheck: external dep (1 finding). bluefi-dsp passes.
+    assert_eq!(diags.len(), 3, "{diags:#?}");
+    assert!(diags.iter().all(|d| d.rule == Rule::HermeticManifests));
+    let lines: Vec<usize> = diags.iter().map(|d| d.line).collect();
+    assert_eq!(lines, vec![11, 11, 14]);
+    assert!(diags[0].to_string().contains("`serde`"));
+    assert!(diags[2].to_string().contains("`quickcheck`"));
+}
+
+#[test]
+fn r4_fires_on_undocumented_pub_fn() {
+    let src = include_str!("fixtures/r4_docs.rs");
+    let diags = scan_source("crates/dsp/src/r4_docs.rs", src);
+    assert_eq!(diags.len(), 1, "{diags:#?}");
+    assert_eq!(diags[0].rule, Rule::DocComments);
+    assert_eq!(diags[0].line, 7);
+    assert_eq!(
+        diags[0].to_string(),
+        "crates/dsp/src/r4_docs.rs:7: [R4 doc-comments] public function `bare` has no doc comment"
+    );
+}
+
+#[test]
+fn r5_fires_on_float_equality() {
+    let src = include_str!("fixtures/r5_float_eq.rs");
+    let diags = scan_source("crates/dsp/src/r5_float_eq.rs", src);
+    // Literal 0.0 and f64::INFINITY; the integer ==, the <=, and the
+    // hatched sentinel all pass.
+    assert_eq!(diags.len(), 2, "{diags:#?}");
+    assert!(diags.iter().all(|d| d.rule == Rule::NoFloatEq));
+    assert_eq!(lines_of(&diags, Rule::NoFloatEq), vec![6, 7]);
+    assert!(diags[0].to_string().starts_with("crates/dsp/src/r5_float_eq.rs:6: [R5 no-float-eq]"));
+}
+
+#[test]
+fn scope_disables_rules_outside_signal_crates() {
+    // The same R5 fixture scanned as a sim-crate file: R5 is out of scope
+    // there, so only rules that apply everywhere could fire (none do).
+    let src = include_str!("fixtures/r5_float_eq.rs");
+    let diags = scan_source("crates/sim/src/r5_float_eq.rs", src);
+    assert!(diags.is_empty(), "{diags:#?}");
+    // And a binary target is exempt from R1 entirely.
+    let src = include_str!("fixtures/r1_panics.rs");
+    let diags = scan_source("crates/bench/src/bin/r1_panics.rs", src);
+    assert!(diags.is_empty(), "{diags:#?}");
+}

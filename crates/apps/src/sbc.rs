@@ -399,8 +399,8 @@ impl BitWriter {
                 self.bytes.push(0);
             }
             let bit = (v >> i) & 1;
-            let byte = self.bytes.last_mut().unwrap();
-            *byte |= (bit as u8) << (7 - (self.nbits % 8));
+            let idx = self.bytes.len() - 1;
+            self.bytes[idx] |= (bit as u8) << (7 - (self.nbits % 8));
             self.nbits += 1;
         }
     }

@@ -6,6 +6,7 @@
 //! Every binary prints the rows/series the paper reports; EXPERIMENTS.md
 //! records paper-vs-measured.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use bluefi_dsp::power::{mean, median, percentile};

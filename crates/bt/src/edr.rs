@@ -138,6 +138,7 @@ pub fn edr_modulate_phase(
             }
         };
     }
+    // lint: allow(float-eq) exact 0.0 is the "no offset" sentinel, not a computed value
     if center_offset_hz != 0.0 {
         bluefi_dsp::phase::add_frequency_offset(&mut phase, center_offset_hz / p.sample_rate_hz);
     }

@@ -77,6 +77,7 @@ pub fn frequency_signal(bits: &[bool], p: &GfskParams) -> Vec<f64> {
 pub fn modulate_phase(bits: &[bool], p: &GfskParams, center_offset_hz: f64) -> Vec<f64> {
     let freq = frequency_signal(bits, p);
     let mut phase = accumulate_frequency(&freq, 0.0);
+    // lint: allow(float-eq) exact 0.0 is the "no offset" sentinel, not a computed value
     if center_offset_hz != 0.0 {
         add_frequency_offset(&mut phase, center_offset_hz / p.sample_rate_hz);
     }

@@ -75,7 +75,7 @@ impl ChannelMap {
         assert!(!channels.is_empty(), "channel map cannot be empty");
         channels.sort_unstable();
         channels.dedup();
-        assert!(*channels.last().unwrap() < NUM_CHANNELS);
+        assert!(channels.iter().all(|&c| c < NUM_CHANNELS), "channel index out of range");
         let mut mask = [false; NUM_CHANNELS as usize];
         for &c in &channels {
             mask[c as usize] = true;

@@ -314,7 +314,7 @@ fn mlse_slice(accs: &[f64], weights: &[f64], alpha: f64, beta: f64) -> Vec<bool>
         .enumerate()
         .min_by(|x, y| x.1.total_cmp(y.1))
         .map(|(s, _)| s)
-        .unwrap();
+        .unwrap_or(0);
     // After scoring observation t the state is (s_t, s_{t+1}); its high bit
     // is bit t.
     let mut bits = vec![false; n];

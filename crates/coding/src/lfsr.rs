@@ -32,7 +32,29 @@ impl Lfsr7 {
     pub fn new(seed: u8) -> Lfsr7 {
         assert!(seed != 0, "an all-zero LFSR seed generates no sequence");
         assert!(seed < 0x80, "seed must fit in 7 bits, got {seed:#x}");
-        Lfsr7 { state: seed }
+        let lfsr = Lfsr7 { state: seed };
+        if bluefi_dsp::contracts::enabled() {
+            // Stage contract: x⁷+x⁴+1 is primitive, so every nonzero seed
+            // must cycle through all 127 states before returning home.
+            let mut probe = lfsr;
+            let mut period = 0u32;
+            loop {
+                probe.next_bit();
+                period += 1;
+                if probe.state == seed {
+                    break;
+                }
+                bluefi_dsp::contract!(
+                    period <= 127,
+                    "Lfsr7: seed {seed:#x} did not return within 127 steps"
+                );
+            }
+            bluefi_dsp::contract!(
+                period == 127,
+                "Lfsr7: seed {seed:#x} has period {period}, expected the full m-sequence 127"
+            );
+        }
+        lfsr
     }
 
     /// Current register contents.

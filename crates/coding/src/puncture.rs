@@ -89,6 +89,20 @@ pub fn puncture(rate: CodeRate, mother: &[bool]) -> Vec<bool> {
             out.push(pair[1]);
         }
     }
+    if bluefi_dsp::contracts::enabled() {
+        // Stage contract: whenever the input covers whole puncturing
+        // periods, the output length must agree with the rate arithmetic
+        // the rest of the pipeline budgets with.
+        let pairs = mother.len() / 2;
+        if pairs % rate.period_inputs() == 0 {
+            bluefi_dsp::contract!(
+                out.len() == rate.n_transmitted(pairs),
+                "puncture: rate {rate:?} emitted {} bits for {pairs} input bits, expected {}",
+                out.len(),
+                rate.n_transmitted(pairs)
+            );
+        }
+    }
     out
 }
 
@@ -138,7 +152,18 @@ pub fn depuncture(rate: CodeRate, punctured: &[bool], weights: Option<&[u32]>) -
         out.push(take(ka[ph]));
         out.push(take(kb[ph]));
     }
-    debug_assert_eq!(src, punctured.len());
+    // Stage contracts: every transmitted bit must be consumed exactly once,
+    // and the expanded stream must cover all mother-code positions.
+    bluefi_dsp::contract!(
+        src == punctured.len(),
+        "depuncture: consumed {src} of {} transmitted bits",
+        punctured.len()
+    );
+    bluefi_dsp::contract!(
+        out.len() == 2 * n_in,
+        "depuncture: produced {} mother positions for {n_in} input bits",
+        out.len()
+    );
     out
 }
 

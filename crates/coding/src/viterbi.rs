@@ -97,7 +97,7 @@ pub fn decode(rx: &[RxBit], terminate: bool) -> Vec<bool> {
             .enumerate()
             .min_by_key(|(_, &m)| m)
             .map(|(s, _)| s)
-            .unwrap()
+            .unwrap_or(0)
     };
 
     // Trace back. The input bit that led into `state` is its bit 5 (the

@@ -65,6 +65,7 @@ pub fn check_n<T: Debug>(
     for case in 0..cases {
         let input = gen(&mut rng);
         if let Err(msg) = prop(&input) {
+            // lint: allow(panic) panicking with the counterexample IS the property harness's job
             panic!(
                 "property `{name}` failed at case {case}/{cases} (seed {seed:#018x})\n\
                  input: {input:?}\n{msg}"

@@ -310,12 +310,21 @@ impl<'a> Parser<'a> {
                     }
                     self.pos += 1;
                 }
-                Some(_) => {
-                    // Consume one UTF-8 scalar (input came from &str, so
-                    // boundaries are valid).
-                    let rest = &self.bytes[self.pos..];
-                    let s = unsafe { std::str::from_utf8_unchecked(rest) };
-                    let c = s.chars().next().unwrap();
+                Some(&lead) => {
+                    // Consume one UTF-8 scalar. Input came from a &str, so
+                    // boundaries are valid; decode just the next scalar's
+                    // bytes (1..=4, from the leading byte) to stay O(1).
+                    let width = match lead {
+                        0x00..=0x7F => 1,
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        _ => 4,
+                    };
+                    let end = (self.pos + width).min(self.bytes.len());
+                    let c = std::str::from_utf8(&self.bytes[self.pos..end])
+                        .ok()
+                        .and_then(|s| s.chars().next())
+                        .ok_or_else(|| self.err("invalid utf-8 in string"))?;
                     out.push(c);
                     self.pos += c.len_utf8();
                 }
@@ -334,7 +343,9 @@ impl<'a> Parser<'a> {
         ) {
             self.pos += 1;
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        // The matched span is ASCII by construction ([-0-9.eE+]).
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| JsonError { message: "bad number".to_string(), offset: start })?;
         text.parse::<f64>()
             .map(Json::Num)
             .map_err(|_| JsonError { message: format!("bad number '{text}'"), offset: start })

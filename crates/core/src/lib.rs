@@ -23,6 +23,7 @@
 //! * [`json`] — a tiny JSON emitter/parser (replaces `serde`).
 //! * [`check`] — the randomized-property harness (replaces `proptest`).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod check;

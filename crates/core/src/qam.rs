@@ -98,6 +98,10 @@ impl Quantizer {
     /// Creates a quantizer for `modulation` (64-QAM in the real system;
     /// 256/1024-QAM for the Sec 5.1 ablation).
     pub fn new(modulation: Modulation, mode: ScaleMode) -> Quantizer {
+        // Stage contract: the grid this quantizer snaps to must carry the
+        // standard's unit-power normalization, or residue/error_db readings
+        // are biased.
+        bluefi_wifi::qam::check_constellation_unit_energy(modulation);
         Quantizer { modulation, mode, plan: FftPlan::new(FFT_SIZE) }
     }
 
@@ -107,21 +111,19 @@ impl Quantizer {
         match self.mode {
             ScaleMode::Fixed(s) => self.quantize_at_scale(body_phase, s),
             ScaleMode::Dynamic => {
-                let mut best: Option<QuantizedSymbol> = None;
                 let mut s = 0.7 * DEFAULT_SCALE;
+                let mut best = self.quantize_at_scale(body_phase, s);
+                s += 0.05 * DEFAULT_SCALE;
                 while s <= 1.3 * DEFAULT_SCALE {
                     let cand = self.quantize_at_scale(body_phase, s);
                     // Compare normalized error so the scale itself does not
                     // bias the comparison.
-                    if best
-                        .as_ref()
-                        .is_none_or(|b| cand.error_db() < b.error_db())
-                    {
-                        best = Some(cand);
+                    if cand.error_db() < best.error_db() {
+                        best = cand;
                     }
                     s += 0.05 * DEFAULT_SCALE;
                 }
-                best.unwrap()
+                best
             }
         }
     }

@@ -149,11 +149,16 @@ fn realtime_plan(n_tx: usize, edge: FreeEdge) -> Arc<RealtimePlan> {
     static CACHE: OnceLock<PlanCache> = OnceLock::new();
     let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
     let key = (n_tx, edge == FreeEdge::Front);
-    if let Some(plan) = cache.lock().unwrap().get(&key) {
+    // A poisoned lock only means another thread panicked mid-insert; the
+    // map is still structurally sound, so recover rather than propagate.
+    if let Some(plan) = cache.lock().unwrap_or_else(|p| p.into_inner()).get(&key) {
         return Arc::clone(plan);
     }
     let plan = Arc::new(RealtimePlan::new(n_tx, edge));
-    cache.lock().unwrap().insert(key, Arc::clone(&plan));
+    cache
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .insert(key, Arc::clone(&plan));
     plan
 }
 

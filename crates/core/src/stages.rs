@@ -91,11 +91,25 @@ pub fn waveform_at_stage(
     // Stage >= Cp: build θ̂ and the per-symbol bodies.
     let phase = modulate_phase(bt_bits, &bf.gfsk, offset_hz);
     let theta_hat = bf.cp.make_compatible(&phase, offset_cps);
+    // Stage contract: θ̂ spans whole OFDM symbols (CP + 64 body samples).
+    bluefi_dsp::contract!(
+        theta_hat.len() % bf.cp.block_len() == 0,
+        "waveform_at_stage: θ̂ length {} is not a multiple of the {}-sample symbol",
+        theta_hat.len(),
+        bf.cp.block_len()
+    );
     if stage == Stage::Cp {
         return theta_hat.iter().map(|&p| Cx::expj(p)).collect();
     }
 
     let bodies = bf.cp.strip_cp(&theta_hat);
+    // Stage contract: CP stripping yields one 64-sample body per symbol.
+    bluefi_dsp::contract!(
+        bodies.len() == theta_hat.len() / bf.cp.block_len()
+            && bodies.iter().all(|b| b.len() == FFT_SIZE),
+        "waveform_at_stage: expected {} bodies of {FFT_SIZE} samples",
+        theta_hat.len() / bf.cp.block_len()
+    );
     let plan64 = FftPlan::new(FFT_SIZE);
     let quantizer = Quantizer::new(mcs.modulation, bf.scale);
 

@@ -12,6 +12,7 @@
 //! so `ifft(fft(x)) == x`.
 
 use crate::complex::Cx;
+use crate::contracts;
 use std::f64::consts::PI;
 
 /// A reusable FFT plan for a fixed power-of-two size.
@@ -63,7 +64,11 @@ impl FftPlan {
     /// Panics when `data.len() != self.len()`.
     pub fn forward(&self, data: &mut [Cx]) {
         assert_eq!(data.len(), self.n, "buffer length must match plan size");
+        let e_in = if contracts::enabled() { contracts::energy(data) } else { 0.0 };
         self.transform(data, false);
+        if contracts::enabled() {
+            contracts::check_parseval(e_in, contracts::energy(data), self.n, "FftPlan::forward");
+        }
     }
 
     /// In-place inverse FFT (including the `1/N` normalization).
@@ -72,10 +77,16 @@ impl FftPlan {
     /// Panics when `data.len() != self.len()`.
     pub fn inverse(&self, data: &mut [Cx]) {
         assert_eq!(data.len(), self.n, "buffer length must match plan size");
+        let e_in = if contracts::enabled() { contracts::energy(data) } else { 0.0 };
         self.transform(data, true);
         let k = 1.0 / self.n as f64;
         for v in data.iter_mut() {
             *v = v.scale(k);
+        }
+        if contracts::enabled() {
+            // With the 1/N normalization applied, output energy is the
+            // frequency-domain input's energy divided by N (Parseval).
+            contracts::check_parseval(contracts::energy(data), e_in, self.n, "FftPlan::inverse");
         }
     }
 

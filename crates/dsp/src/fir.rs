@@ -33,6 +33,7 @@ impl Fir {
         let mut taps: Vec<f64> = (0..ntaps as isize)
             .map(|i| {
                 let n = (i - mid) as f64;
+                // lint: allow(float-eq) n is an exact integer cast; 0.0 is the removable singularity
                 let sinc = if n == 0.0 {
                     2.0 * cutoff
                 } else {

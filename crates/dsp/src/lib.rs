@@ -8,10 +8,12 @@
 //! state, no threads, no IO — the sans-IO style the rest of the workspace
 //! follows.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bits;
 pub mod complex;
+pub mod contracts;
 pub mod fft;
 pub mod fir;
 pub mod gaussian;

@@ -82,7 +82,7 @@ impl SessionConfig {
             channel,
             duration_s: 120.0,
             reports_hz: 1.0,
-            ble_channel: AdvChannel::new(38).unwrap(),
+            ble_channel: AdvChannel::ALL[1], // channel 38 = 2426 MHz
         }
     }
 }
@@ -108,6 +108,7 @@ fn build_tx(kind: &TxKind, ble_channel: AdvChannel) -> (Vec<Cx>, f64, f64) {
             let bf = BlueFi::default();
             let syn = bf
                 .synthesize(&bits, bt_freq, chip_seed(chip))
+                // lint: allow(panic) every AdvChannel frequency is plannable by construction
                 .expect("advertising channel must be plannable");
             let ppdu = chip.transmit_with_seed(&syn.psdu, syn.mcs, *tx_dbm, syn.seed);
             (
@@ -119,7 +120,8 @@ fn build_tx(kind: &TxKind, ble_channel: AdvChannel) -> (Vec<Cx>, f64, f64) {
         TxKind::Dedicated(tx) => (tx.transmit(&bits, 0.0), 0.0, 0.0),
         TxKind::UsrpStage { stage, tx_dbm } => {
             let bf = BlueFi::default();
-            let plan = plan_channel(bt_freq).unwrap();
+            // lint: allow(panic) every AdvChannel frequency is plannable by construction
+            let plan = plan_channel(bt_freq).expect("plannable advertising channel");
             let wave = waveform_at_stage(&bf, &bits, plan, 1, *stage);
             // Normalize to the requested power.
             let p = bluefi_dsp::power::mean_power(&wave);

@@ -7,6 +7,7 @@
 //! airtime simulator for the throughput study, and the beacon-session
 //! harness the figure generators drive.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod channel;

@@ -28,7 +28,18 @@ pub struct Interleaver {
 impl Interleaver {
     /// Creates the interleaver for `modulation`.
     pub fn new(modulation: Modulation) -> Interleaver {
-        Interleaver { modulation }
+        let il = Interleaver { modulation };
+        if bluefi_dsp::contracts::enabled() {
+            // Stage contract: the two-permutation formula must be a
+            // bijection on the symbol block, or deinterleaving silently
+            // drops coded bits.
+            bluefi_dsp::contracts::check_permutation_bijective(
+                il.block_len(),
+                |k| il.permute(k),
+                "HT interleaver",
+            );
+        }
+        il
     }
 
     /// Coded bits per OFDM symbol (N_CBPS).

@@ -17,7 +17,19 @@ pub struct Mcs {
 
 impl Mcs {
     /// Looks up MCS 0..=7.
+    ///
+    /// # Panics
+    /// Panics on indices above 7; use [`Mcs::try_from_index`] for untrusted
+    /// input.
     pub fn from_index(index: u8) -> Mcs {
+        Mcs::try_from_index(index)
+            // lint: allow(panic) callers pass compile-time constants; try_from_index is the fallible path
+            .unwrap_or_else(|| panic!("single-stream HT MCS is 0..=7, got {index}"))
+    }
+
+    /// Fallible MCS lookup: `None` for indices outside the single-stream
+    /// HT range 0..=7.
+    pub fn try_from_index(index: u8) -> Option<Mcs> {
         let (modulation, rate) = match index {
             0 => (Modulation::Bpsk, CodeRate::R12),
             1 => (Modulation::Qpsk, CodeRate::R12),
@@ -27,9 +39,9 @@ impl Mcs {
             5 => (Modulation::Qam64, CodeRate::R23),
             6 => (Modulation::Qam64, CodeRate::R34),
             7 => (Modulation::Qam64, CodeRate::R56),
-            _ => panic!("single-stream HT MCS is 0..=7, got {index}"),
+            _ => return None,
         };
-        Mcs { index, modulation, rate }
+        Some(Mcs { index, modulation, rate })
     }
 
     /// Coded bits per OFDM symbol (N_CBPS).

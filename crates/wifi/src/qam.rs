@@ -105,7 +105,7 @@ fn level_to_bits(level: i32, m: usize) -> Vec<bool> {
 /// unnormalized units (multiply by [`Modulation::kmod`] for standard power).
 pub fn map_bits(modulation: Modulation, bits: &[bool]) -> Cx {
     assert_eq!(bits.len(), modulation.bits_per_symbol());
-    match modulation {
+    let point = match modulation {
         Modulation::Bpsk => cx(if bits[0] { 1.0 } else { -1.0 }, 0.0),
         _ => {
             let half = bits.len() / 2;
@@ -113,7 +113,14 @@ pub fn map_bits(modulation: Modulation, bits: &[bool]) -> Cx {
             let q = bits_to_level(&bits[half..]);
             cx(i as f64, q as f64)
         }
-    }
+    };
+    // Stage contract: mapping must invert exactly through the demapper for
+    // every on-grid point, or the FEC-reversal bit accounting breaks.
+    bluefi_dsp::contract!(
+        demap_point(modulation, point) == bits,
+        "map_bits: {modulation:?} point {point:?} does not demap to its source bits"
+    );
+    point
 }
 
 /// Demaps a constellation point (in unnormalized units) back to bits —
@@ -130,6 +137,27 @@ pub fn demap_point(modulation: Modulation, point: Cx) -> Vec<bool> {
             bits
         }
     }
+}
+
+/// Stage contract: the K_MOD-normalized constellation has unit average
+/// power (IEEE 802.11 17.3.5.8). No-op unless contracts are enabled; call
+/// once per constructed quantizer/mapper, not per symbol.
+pub fn check_constellation_unit_energy(modulation: Modulation) {
+    if !bluefi_dsp::contracts::enabled() {
+        return;
+    }
+    let n = modulation.bits_per_symbol();
+    let points: Vec<Cx> = (0..(1u32 << n))
+        .map(|v| {
+            let bits: Vec<bool> = (0..n).map(|i| (v >> i) & 1 == 1).collect();
+            map_bits(modulation, &bits) * modulation.kmod()
+        })
+        .collect();
+    bluefi_dsp::contracts::check_unit_mean_energy(
+        &points,
+        1e-12,
+        "constellation K_MOD normalization",
+    );
 }
 
 /// Snaps one axis value to the nearest constellation level (odd integer in

@@ -53,7 +53,7 @@ pub fn data_index_of_subcarrier(k: i32) -> Option<usize> {
     if !is_data(k) {
         return None;
     }
-    Some(data_subcarriers().iter().position(|&s| s == k).unwrap())
+    data_subcarriers().iter().position(|&s| s == k)
 }
 
 /// Baseband frequency of subcarrier `k` in Hz.

@@ -123,7 +123,17 @@ pub fn waveform_from_spectra(spectra: &[Vec<Cx>], gi: GuardInterval, windowing: 
     let plan = FftPlan::new(FFT_SIZE);
     let symbols: Vec<Vec<Cx>> =
         spectra.iter().map(|s| modulate_symbol(&plan, s, gi)).collect();
-    stitch_symbols(&symbols, gi, windowing)
+    let wave = stitch_symbols(&symbols, gi, windowing);
+    // Stage contract: stitching neither drops nor duplicates samples — the
+    // waveform is exactly one symbol-length per spectrum (72 for SGI).
+    bluefi_dsp::contract!(
+        wave.len() == spectra.len() * gi.symbol_len(),
+        "waveform_from_spectra: {} samples from {} spectra, expected {}",
+        wave.len(),
+        spectra.len(),
+        spectra.len() * gi.symbol_len()
+    );
+    wave
 }
 
 #[cfg(test)]

@@ -1,0 +1,40 @@
+//! The workspace lint gate: `cargo test -q` fails if any `bluefi-analyze`
+//! rule fires anywhere in the tree. This is the enforcement point for the
+//! no-panic / no-unsafe / hermetic-manifest / doc-comment / no-float-eq
+//! policies (the human-readable report is `cargo run -p bluefi-analyze`).
+//!
+//! Supersedes the old `tests/hermetic.rs`, whose manifest checks now live
+//! in `bluefi_analyze::manifests` as rule R3.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_lint_clean() {
+    // The root package's manifest dir IS the workspace root.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = bluefi_analyze::analyze_workspace(root).expect("workspace scan must succeed");
+    assert!(
+        report.is_clean(),
+        "bluefi-analyze found violations:\n{}",
+        report.render()
+    );
+}
+
+#[test]
+fn gate_actually_scanned_the_tree() {
+    // Guard against a silently-empty pass (e.g. a broken path walk): the
+    // workspace has many source files and one manifest per crate plus the
+    // root's.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = bluefi_analyze::analyze_workspace(root).expect("workspace scan must succeed");
+    assert!(
+        report.files_scanned >= 50,
+        "only {} source files scanned — path walk broken?",
+        report.files_scanned
+    );
+    assert!(
+        report.manifests_scanned >= 10,
+        "only {} manifests scanned",
+        report.manifests_scanned
+    );
+}
