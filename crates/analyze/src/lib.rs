@@ -19,6 +19,10 @@
 //! * **R5 no-float-eq** — no `==`/`!=` against float operands in signal
 //!   code (`dsp`/`wifi`/`bt`/`core`); escape hatch
 //!   `// lint: allow(float-eq) <reason>`.
+//! * **R6 no-hot-loop-alloc** — no `FftPlan::new` / `Vec::with_capacity` /
+//!   `vec![` inside `for`/`while` bodies in the hot-path crates
+//!   (`dsp`/`wifi`/`coding`) — use a plan cache or a reused scratch buffer;
+//!   escape hatch `// lint: allow(r6) <reason>`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -44,19 +48,22 @@ pub enum Rule {
     DocComments,
     /// R5 — no floating-point equality in signal code.
     NoFloatEq,
+    /// R6 — no per-iteration allocation in hot-path loops.
+    HotLoopAlloc,
 }
 
 impl Rule {
     /// All rules in reporting order.
-    pub const ALL: [Rule; 5] = [
+    pub const ALL: [Rule; 6] = [
         Rule::NoPanics,
         Rule::NoUnsafe,
         Rule::HermeticManifests,
         Rule::DocComments,
         Rule::NoFloatEq,
+        Rule::HotLoopAlloc,
     ];
 
-    /// Short code, `R1`..`R5`.
+    /// Short code, `R1`..`R6`.
     pub fn code(self) -> &'static str {
         match self {
             Rule::NoPanics => "R1",
@@ -64,6 +71,7 @@ impl Rule {
             Rule::HermeticManifests => "R3",
             Rule::DocComments => "R4",
             Rule::NoFloatEq => "R5",
+            Rule::HotLoopAlloc => "R6",
         }
     }
 
@@ -75,6 +83,7 @@ impl Rule {
             Rule::HermeticManifests => "hermetic-manifests",
             Rule::DocComments => "doc-comments",
             Rule::NoFloatEq => "no-float-eq",
+            Rule::HotLoopAlloc => "no-hot-loop-alloc",
         }
     }
 }
@@ -124,6 +133,8 @@ pub struct Scope {
     pub doc_comments: bool,
     /// R5 applies (signal crates: `dsp`/`wifi`/`bt`/`core`).
     pub no_float_eq: bool,
+    /// R6 applies (hot-path kernel crates: `dsp`/`wifi`/`coding`).
+    pub hot_loop_alloc: bool,
 }
 
 /// Decides rule scope from a workspace-relative path like
@@ -145,6 +156,7 @@ pub fn scope_for(rel_path: &str) -> Scope {
         no_unsafe: true,
         doc_comments: !is_binary && matches!(krate, "dsp" | "wifi" | "core"),
         no_float_eq: !is_binary && matches!(krate, "dsp" | "wifi" | "bt" | "core"),
+        hot_loop_alloc: !is_binary && matches!(krate, "dsp" | "wifi" | "coding"),
     }
 }
 
@@ -164,6 +176,9 @@ pub fn scan_source(rel_path: &str, text: &str) -> Vec<Diagnostic> {
     }
     if scope.no_float_eq {
         out.extend(rules::r5_no_float_eq(&file));
+    }
+    if scope.hot_loop_alloc {
+        out.extend(rules::r6_no_hot_loop_alloc(&file));
     }
     out
 }
@@ -186,8 +201,8 @@ impl Report {
     }
 
     /// Findings per rule, in [`Rule::ALL`] order.
-    pub fn counts(&self) -> [usize; 5] {
-        let mut counts = [0usize; 5];
+    pub fn counts(&self) -> [usize; 6] {
+        let mut counts = [0usize; 6];
         for d in &self.diagnostics {
             let idx = Rule::ALL.iter().position(|r| *r == d.rule).unwrap_or(0);
             counts[idx] += 1;
@@ -196,7 +211,7 @@ impl Report {
     }
 
     /// One-line machine-readable summary, e.g.
-    /// `R1=0 R2=0 R3=0 R4=0 R5=0 total=0 files=58 manifests=10 status=clean`.
+    /// `R1=0 R2=0 R3=0 R4=0 R5=0 R6=0 total=0 files=58 manifests=10 status=clean`.
     pub fn summary(&self) -> String {
         let counts = self.counts();
         let per_rule: Vec<String> = Rule::ALL
@@ -330,10 +345,16 @@ mod tests {
     fn scope_rules() {
         let s = scope_for("crates/dsp/src/fft.rs");
         assert!(s.no_panics && s.no_unsafe && s.doc_comments && s.no_float_eq);
+        assert!(s.hot_loop_alloc);
+        let s = scope_for("crates/coding/src/viterbi.rs");
+        assert!(s.hot_loop_alloc && !s.doc_comments);
+        let s = scope_for("crates/core/src/pipeline.rs");
+        assert!(!s.hot_loop_alloc && s.no_float_eq);
         let s = scope_for("crates/sim/src/mac.rs");
         assert!(s.no_panics && s.no_unsafe && !s.doc_comments && !s.no_float_eq);
+        assert!(!s.hot_loop_alloc);
         let s = scope_for("crates/bench/src/bin/fig5_distance.rs");
-        assert!(!s.no_panics && s.no_unsafe && !s.doc_comments);
+        assert!(!s.no_panics && s.no_unsafe && !s.doc_comments && !s.hot_loop_alloc);
         let s = scope_for("tests/e2e_audio.rs");
         assert!(!s.no_panics && !s.no_unsafe);
     }
@@ -341,7 +362,10 @@ mod tests {
     #[test]
     fn summary_is_machine_readable() {
         let mut r = Report { files_scanned: 3, manifests_scanned: 2, ..Default::default() };
-        assert_eq!(r.summary(), "R1=0 R2=0 R3=0 R4=0 R5=0 total=0 files=3 manifests=2 status=clean");
+        assert_eq!(
+            r.summary(),
+            "R1=0 R2=0 R3=0 R4=0 R5=0 R6=0 total=0 files=3 manifests=2 status=clean"
+        );
         r.diagnostics.push(Diagnostic::new(Rule::NoPanics, "x.rs", 1, "m".into()));
         assert!(r.summary().contains("R1=1") && r.summary().ends_with("status=dirty"));
     }

@@ -1,4 +1,4 @@
-//! The source-level lint rules (R1, R2, R4, R5).
+//! The source-level lint rules (R1, R2, R4, R5, R6).
 //!
 //! Each rule walks the [`SourceFile`] line model and emits `file:line`
 //! diagnostics. Scope (which crates/files a rule applies to) is decided by
@@ -14,6 +14,8 @@ pub const ALLOW_PANIC: &str = "panic";
 pub const ALLOW_UNSAFE: &str = "unsafe";
 /// Hatch name for R5.
 pub const ALLOW_FLOAT_EQ: &str = "float-eq";
+/// Hatch name for R6.
+pub const ALLOW_HOT_LOOP_ALLOC: &str = "r6";
 
 /// Files allowed to contain `unsafe` (R2 allowlist). Empty: the workspace
 /// is `unsafe`-free and every crate carries `#![forbid(unsafe_code)]`.
@@ -253,6 +255,89 @@ fn is_float_token(tok: &str) -> bool {
     numeric && (t.contains('.') || t.contains('e') || t.contains('E') || suffixed)
 }
 
+/// R6 — per-iteration allocation in hot-path loops.
+///
+/// Flags `FftPlan::new(`, `Vec::with_capacity(` and `vec![` on lines inside
+/// a `for`/`while` body (tracked by brace depth from the loop header) —
+/// those allocations repeat every iteration; hoist them, use the size-keyed
+/// plan cache (`fft_plan`), or reuse a scratch buffer via
+/// `contracts::ensure_len`. Loop *headers* are exempt (they evaluate once
+/// for `for`), as is test code; the escape hatch is
+/// `// lint: allow(r6) <reason>`.
+pub fn r6_no_hot_loop_alloc(file: &SourceFile) -> Vec<Diagnostic> {
+    const NEEDLES: [&str; 3] = ["FftPlan::new(", "Vec::with_capacity(", "vec!["];
+    let mut out = Vec::new();
+    let mut depth = 0i64;
+    // Brace depth of each currently-open for/while body.
+    let mut loop_depths: Vec<i64> = Vec::new();
+    for (i, line) in file.lines.iter().enumerate() {
+        let code = &line.code;
+        if !loop_depths.is_empty() && !line.in_test && !allowed(line, ALLOW_HOT_LOOP_ALLOC) {
+            for needle in NEEDLES {
+                if let Some(found) = find_needle(code, needle) {
+                    out.push(Diagnostic::new(
+                        Rule::HotLoopAlloc,
+                        &file.rel_path,
+                        i + 1,
+                        format!(
+                            "`{found}` allocates every loop iteration — hoist it, use \
+                             the plan cache / a reused scratch buffer, or add \
+                             `// lint: allow(r6) <reason>`"
+                        ),
+                    ));
+                }
+            }
+        }
+        // Track braces; a loop header's first `{` after the keyword opens a
+        // body at the new depth. (Headers whose `{` falls on a later line
+        // are not tracked — rustfmt keeps loop braces on the header line.)
+        let mut pending_header = if line.in_test { None } else { loop_keyword_pos(code) };
+        for (ci, c) in code.char_indices() {
+            match c {
+                '{' => {
+                    depth += 1;
+                    if pending_header.is_some_and(|k| ci > k) {
+                        loop_depths.push(depth);
+                        pending_header = None;
+                    }
+                }
+                '}' => {
+                    depth -= 1;
+                    while loop_depths.last().is_some_and(|&d| d > depth) {
+                        loop_depths.pop();
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    out
+}
+
+/// Position of a standalone `for` / `while` keyword, if any.
+fn loop_keyword_pos(code: &str) -> Option<usize> {
+    for kw in ["for", "while"] {
+        let mut from = 0usize;
+        while let Some(p) = code[from..].find(kw) {
+            let at = from + p;
+            from = at + kw.len();
+            let before_ok = at == 0
+                || !code[..at]
+                    .chars()
+                    .next_back()
+                    .is_some_and(|c| c.is_alphanumeric() || c == '_');
+            let after_ok = !code[at + kw.len()..]
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+            if before_ok && after_ok {
+                return Some(at);
+            }
+        }
+    }
+    None
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -287,6 +372,38 @@ mod tests {
         assert!(scan(r5_no_float_eq, "if n == 1 {}").is_empty());
         assert!(scan(r5_no_float_eq, "if n <= 1.0 {}").is_empty());
         assert!(scan(r5_no_float_eq, "let f = |x| x => 1.0;").is_empty());
+    }
+
+    #[test]
+    fn r6_flags_allocations_inside_loops_only() {
+        // Allocation before the loop: fine. Same calls inside: flagged.
+        let src = "let mut buf = Vec::with_capacity(n);\n\
+                   for x in items {\n    let v = vec![0.0; 64];\n    \
+                   let p = FftPlan::new(64);\n}\n\
+                   let after = Vec::with_capacity(2);";
+        let d = scan(r6_no_hot_loop_alloc, src);
+        assert_eq!(d.len(), 2, "{d:#?}");
+        assert_eq!(d[0].line, 3);
+        assert_eq!(d[1].line, 4);
+    }
+
+    #[test]
+    fn r6_header_while_and_hatch() {
+        // A `for` header evaluates once — exempt; nested while bodies are
+        // tracked; the hatch silences a deliberate per-iteration alloc.
+        let src = "for x in vec![1, 2] {\n    while y {\n        \
+                   let a = vec![0; 8]; // lint: allow(r6) tiny, cold path\n        \
+                   let b = vec![0; 8];\n    }\n}";
+        let d = scan(r6_no_hot_loop_alloc, src);
+        assert_eq!(d.len(), 1, "{d:#?}");
+        assert_eq!(d[0].line, 4);
+    }
+
+    #[test]
+    fn r6_loop_exit_stops_flagging() {
+        let src = "for x in items {\n    f(x);\n}\nlet v = vec![0; 8];\n\
+                   fn formless() { let w = vec![1]; }";
+        assert!(scan(r6_no_hot_loop_alloc, src).is_empty());
     }
 
     #[test]

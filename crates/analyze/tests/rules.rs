@@ -78,6 +78,26 @@ fn r5_fires_on_float_equality() {
 }
 
 #[test]
+fn r6_fires_on_hot_loop_allocations() {
+    let src = include_str!("fixtures/r6_hot_loop.rs");
+    let diags = scan_source("crates/dsp/src/r6_hot_loop.rs", src);
+    let r6: Vec<usize> = lines_of(&diags, Rule::HotLoopAlloc);
+    // vec!, FftPlan::new, Vec::with_capacity inside the for body; the
+    // unhatched vec! in the while body. Hoisted/hatched/header/test-code
+    // allocations stay silent.
+    assert_eq!(r6, vec![7, 8, 9, 19], "{diags:#?}");
+    assert!(diags
+        .iter()
+        .find(|d| d.rule == Rule::HotLoopAlloc)
+        .unwrap()
+        .to_string()
+        .starts_with("crates/dsp/src/r6_hot_loop.rs:7: [R6 no-hot-loop-alloc]"));
+    // Out of scope in `core` (the pipeline intentionally clones results).
+    let diags = scan_source("crates/core/src/r6_hot_loop.rs", src);
+    assert!(lines_of(&diags, Rule::HotLoopAlloc).is_empty());
+}
+
+#[test]
 fn scope_disables_rules_outside_signal_crates() {
     // The same R5 fixture scanned as a sim-crate file: R5 is out of scope
     // there, so only rules that apply everywhere could fire (none do).

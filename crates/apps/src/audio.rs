@@ -18,7 +18,7 @@ use crate::sbc::{SbcCodec, SbcParams};
 use bluefi_bt::br::{br_air_bits, BrDecode, BrHeader, BtAddress, PacketType};
 use bluefi_bt::hopping::{ChannelMap, HopSelector, SlotClock};
 use bluefi_bt::receiver::{GfskReceiver, ReceiverConfig};
-use bluefi_core::pipeline::{BlueFi, Synthesis};
+use bluefi_core::pipeline::{BlueFi, Synthesis, SynthesisScratch};
 use bluefi_core::reversal::DecodeStrategy;
 use bluefi_sim::channel::Channel;
 use bluefi_wifi::channels::{
@@ -154,6 +154,9 @@ impl A2dpStreamer {
         }
         let mut out = Vec::new();
         let mut slot = if start_slot.is_multiple_of(2) { start_slot } else { start_slot + 1 };
+        // Kernel buffers are shared across packets; only the retained
+        // Synthesis clones below allocate per packet.
+        let mut scratch = SynthesisScratch::new();
         for chunk in chunks {
             // Hunt for a slot whose hop channel is one of ours.
             let (tx_slot, ch) = loop {
@@ -190,7 +193,7 @@ impl A2dpStreamer {
                 tx_subcarrier: sc,
                 clearance: bluefi_wifi::channels::distance_to_pilot_or_null(sc),
             };
-            let synthesis = self.bf.synthesize_at(&bits, plan, 71);
+            let synthesis = self.bf.synthesize_at_with(&bits, plan, 71, &mut scratch).clone();
             out.push(ScheduledPacket {
                 slot: tx_slot,
                 bt_channel: ch,
@@ -280,6 +283,9 @@ pub fn sniff_channel(
     });
     let mut rng = StdRng::seed_from_u64(seed);
     let mut counts = SnifferCounts::default();
+    // One scratch across the whole sweep: every synthesis after the first
+    // runs allocation-free in the kernels.
+    let mut scratch = SynthesisScratch::new();
     for k in 0..n {
         let clk6_1 = (k % 64) as u8;
         let header = BrHeader {
@@ -292,7 +298,7 @@ pub fn sniff_channel(
         let payload: Vec<u8> =
             (0..ptype.max_payload()).map(|i| ((i + k) % 251) as u8).collect();
         let bits = br_air_bits(cfg.addr, &header, &payload, clk6_1);
-        let syn = bf.synthesize_at(&bits, plan, 71);
+        let syn = bf.synthesize_at_with(&bits, plan, 71, &mut scratch);
         let ppdu = chip.transmit_with_seed(&syn.psdu, syn.mcs, 18.0, 71);
         let rx_wave = channel.apply(&ppdu.iq, &mut rng);
         match rx.receive_br(&rx_wave, cfg.addr.lap, cfg.addr.uap, clk6_1).decode {

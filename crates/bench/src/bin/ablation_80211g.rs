@@ -8,6 +8,7 @@ use bluefi_bench::print_table;
 use bluefi_bt::ble::{adv_air_bits, AdvPdu, AdvPduType};
 use bluefi_bt::receiver::{GfskReceiver, ReceiverConfig};
 use bluefi_core::cp::CpCompat;
+use bluefi_core::par::par_map;
 use bluefi_core::pipeline::BlueFi;
 use bluefi_core::stages::{waveform_at_stage, Stage};
 use bluefi_wifi::channels::ChannelPlan;
@@ -23,8 +24,9 @@ fn main() {
     let mut rows = Vec::new();
     for (name, cp) in [("SGI (802.11n, 8-sample CP)", CpCompat::sgi()), ("LGI (802.11g-style, 16-sample CP)", CpCompat::lgi())] {
         let bf = BlueFi { cp, ..Default::default() };
-        let (mut errs, mut total) = (0usize, 0usize);
-        for v in 0..6u8 {
+        // The 6 payload loopbacks are independent — fan them out.
+        let payloads: Vec<u8> = (0..6).collect();
+        let per_payload = par_map(&payloads, |_, &v| {
             let pdu = AdvPdu {
                 pdu_type: AdvPduType::AdvNonconnInd,
                 adv_address: [v, 1, 2, 3, 4, 5],
@@ -36,18 +38,16 @@ fn main() {
             let wave = waveform_at_stage(&bf, &air, plan, 71, Stage::Cp);
             let demod = rx.demodulate(&wave);
             match rx.synchronize(&demod, &aa, air.len()) {
-                None => {
-                    errs += 150;
-                    total += 150;
-                }
+                None => (150, 150),
                 Some(hit) => {
                     let truth = &air[40..];
                     let n = truth.len().min(hit.bits.len());
-                    errs += (0..n).filter(|&i| truth[i] != hit.bits[i]).count();
-                    total += n;
+                    ((0..n).filter(|&i| truth[i] != hit.bits[i]).count(), n)
                 }
             }
-        }
+        });
+        let (errs, total) =
+            per_payload.into_iter().fold((0usize, 0usize), |(e, t), (de, dt)| (e + de, t + dt));
         rows.push(vec![
             name.to_string(),
             format!("{errs}/{total}"),

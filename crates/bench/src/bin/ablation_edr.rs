@@ -7,6 +7,7 @@
 
 use bluefi_bench::print_table;
 use bluefi_bt::edr::{edr_demodulate, edr_modulate_phase, EdrScheme};
+use bluefi_core::par::par_map;
 use bluefi_bt::gfsk::{modulate_phase, GfskParams};
 use bluefi_bt::receiver::{GfskReceiver, ReceiverConfig};
 use bluefi_core::pipeline::BlueFi;
@@ -71,10 +72,13 @@ fn main() {
         ]);
     }
 
-    for (name, scheme) in [
+    // The two EDR schemes are independent full-pipeline trials — fan them
+    // out; rows come back in scheme order.
+    let schemes = [
         ("π/4-DQPSK (2 Mbps)", EdrScheme::Dqpsk2),
         ("8DPSK (3 Mbps)", EdrScheme::Dpsk8),
-    ] {
+    ];
+    rows.extend(par_map(&schemes, |_, &(name, scheme)| {
         let bits = pattern(scheme.bits_per_symbol() * 120, 7);
         let phase = edr_modulate_phase(&bits, scheme, &p, offset_hz);
         let ppdu = through_pipeline(phase, offset_hz);
@@ -91,12 +95,12 @@ fn main() {
             let got = edr_demodulate(&demod.filtered, scheme, p.sps(), start, n_sym);
             best = best.min(got.iter().zip(&bits).filter(|(a, b)| a != b).count());
         }
-        rows.push(vec![
+        vec![
             name.into(),
             format!("{best}/{}", bits.len()),
             format!("{:.2}%", 100.0 * best as f64 / bits.len() as f64),
-        ]);
-    }
+        ]
+    }));
     print_table(
         "Extension — EDR modulation over BlueFi (loopback payload BER)",
         &["scheme", "bit errors", "BER"],

@@ -6,6 +6,7 @@
 use bluefi_bench::print_table;
 use bluefi_bt::gfsk::{modulate_phase, GfskParams};
 use bluefi_core::cp::CpCompat;
+use bluefi_core::par::par_map;
 use bluefi_core::qam::{Quantizer, ScaleMode, DEFAULT_SCALE};
 use bluefi_wifi::Modulation;
 
@@ -21,10 +22,9 @@ fn main() {
     for m in [Modulation::Qam16, Modulation::Qam64, Modulation::Qam256, Modulation::Qam1024] {
         let a = DEFAULT_SCALE * m.max_level() as f64 / 7.0;
         let q = Quantizer::new(m, ScaleMode::Fixed(a));
-        let errs: Vec<f64> = bodies
-            .iter()
-            .map(|b| q.quantize_body(b).in_band_error_db(13.0, 4.0))
-            .collect();
+        // Per-symbol quantization is independent — fan the bodies out.
+        let errs: Vec<f64> =
+            par_map(&bodies, |_, b| q.quantize_body(b).in_band_error_db(13.0, 4.0));
         rows.push(vec![format!("{m:?}"), format!("{:6.1} dB", bluefi_dsp::power::mean(&errs))]);
     }
     print_table(

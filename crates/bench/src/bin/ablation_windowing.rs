@@ -8,6 +8,7 @@
 use bluefi_bench::print_table;
 use bluefi_bt::ble::{adv_air_bits, AdvPdu, AdvPduType};
 use bluefi_core::cp::CpCompat;
+use bluefi_core::par::SynthesisBatch;
 use bluefi_core::pipeline::BlueFi;
 use bluefi_core::verify::transmit;
 use bluefi_bt::receiver::{GfskReceiver, ReceiverConfig};
@@ -21,8 +22,10 @@ fn aggregate_ber(bf: &BlueFi, plan: ChannelPlan) -> (usize, usize) {
         ..Default::default()
     });
     let aa = bluefi_dsp::bits::u64_to_bits_lsb(bluefi_bt::ble::ADV_ACCESS_ADDRESS as u64, 32);
-    let (mut errs, mut total) = (0usize, 0usize);
-    for v in 0..8u8 {
+    // The 8 payload loopbacks are independent: fan them out with one
+    // synthesis scratch per worker (allocation-free after the warm-up).
+    let payloads: Vec<u8> = (0..8).collect();
+    let per_payload = SynthesisBatch::new(bf).run(&payloads, |bf, scratch, _, &v| {
         let pdu = AdvPdu {
             pdu_type: AdvPduType::AdvNonconnInd,
             adv_address: [v, 2, 3, 4, 5, 6],
@@ -30,23 +33,19 @@ fn aggregate_ber(bf: &BlueFi, plan: ChannelPlan) -> (usize, usize) {
             tx_add: false,
         };
         let air = adv_air_bits(&pdu, 38);
-        let syn = bf.synthesize_at(&air, plan, 71);
-        let ppdu = transmit(&syn, &ChipModel::ar9331(), 18.0);
+        let syn = bf.synthesize_at_with(&air, plan, 71, scratch);
+        let ppdu = transmit(syn, &ChipModel::ar9331(), 18.0);
         let demod = rx.demodulate(&ppdu.iq);
         match rx.synchronize(&demod, &aa, air.len()) {
-            None => {
-                errs += 200;
-                total += 200;
-            }
+            None => (200, 200),
             Some(hit) => {
                 let truth = &air[40..];
                 let n = truth.len().min(hit.bits.len());
-                errs += (0..n).filter(|&i| truth[i] != hit.bits[i]).count();
-                total += n;
+                ((0..n).filter(|&i| truth[i] != hit.bits[i]).count(), n)
             }
         }
-    }
-    (errs, total)
+    });
+    per_payload.into_iter().fold((0, 0), |(e, t), (de, dt)| (e + de, t + dt))
 }
 
 fn main() {

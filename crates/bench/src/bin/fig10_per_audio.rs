@@ -7,17 +7,21 @@
 use bluefi_apps::audio::{ranked_channels, sniff_channel, AudioConfig};
 use bluefi_bench::{arg_f64, arg_usize, print_table};
 use bluefi_bt::br::PacketType;
+use bluefi_core::par::par_map;
 
 fn main() {
     let n = arg_usize("--packets", 25);
     let distance = arg_f64("--distance", 1.5);
     let cfg = AudioConfig::default();
     let channels: Vec<u8> = ranked_channels(cfg.wifi_channel).into_iter().take(3).collect();
+    // Independent per-channel sweeps, fanned out over the batch engine.
+    let per_channel = par_map(&channels, |_, &ch| {
+        (ch, sniff_channel(&cfg, ch, PacketType::Dm5, n, distance, 0xF10 + ch as u64))
+    });
     let mut rows = Vec::new();
     let mut total_ok = 0usize;
     let mut total = 0usize;
-    for &ch in &channels {
-        let counts = sniff_channel(&cfg, ch, PacketType::Dm5, n, distance, 0xF10 + ch as u64);
+    for (ch, counts) in &per_channel {
         total_ok += counts.no_error;
         total += counts.total();
         rows.push(vec![

@@ -7,30 +7,39 @@
 
 use bluefi_bench::{arg_f64, print_table, summarize};
 use bluefi_sim::devices::DeviceModel;
-use bluefi_sim::experiments::{run_beacon_session, SessionConfig, TxKind};
+use bluefi_sim::experiments::{run_beacon_sessions, SessionConfig, SessionTrial, TxKind};
 use bluefi_wifi::ChipModel;
 
 fn main() {
     let duration = arg_f64("--duration", 120.0);
     let rate = arg_f64("--rate", 1.0);
     for chip in [ChipModel::ar9331(), ChipModel::rtl8811au()] {
-        let mut rows = Vec::new();
+        // All 9 device x distance sessions are independent: batch them.
+        let mut trials = Vec::new();
+        let mut labels = Vec::new();
         for device in DeviceModel::all_phones() {
             for (label, dist) in [("near 0.2m", 0.2), ("close 1.5m", 1.5), ("far 4.5m", 4.5)] {
                 let mut cfg = SessionConfig::office(device.clone(), dist);
                 cfg.duration_s = duration;
                 cfg.reports_hz = rate;
-                let kind = TxKind::BlueFi { chip: chip.clone(), tx_dbm: 18.0 };
-                let trace = run_beacon_session(&kind, &cfg, 0xF15B + dist as u64);
-                let rssi: Vec<f64> = trace.iter().map(|s| s.rssi_dbm).collect();
-                let last_t = trace.last().map(|s| s.t_s).unwrap_or(0.0);
-                rows.push(vec![
-                    device.name.to_string(),
-                    label.to_string(),
-                    summarize(&rssi),
-                    format!("{last_t:.0} s"),
-                ]);
+                labels.push((device.name.to_string(), label));
+                trials.push(SessionTrial {
+                    kind: TxKind::BlueFi { chip: chip.clone(), tx_dbm: 18.0 },
+                    cfg,
+                    seed: 0xF15B + dist as u64,
+                });
             }
+        }
+        let mut rows = Vec::new();
+        for ((device, label), trace) in labels.iter().zip(run_beacon_sessions(&trials)) {
+            let rssi: Vec<f64> = trace.iter().map(|s| s.rssi_dbm).collect();
+            let last_t = trace.last().map(|s| s.t_s).unwrap_or(0.0);
+            rows.push(vec![
+                device.clone(),
+                label.to_string(),
+                summarize(&rssi),
+                format!("{last_t:.0} s"),
+            ]);
         }
         print_table(
             &format!("Fig 5 ({}) — RSSI dBm: mean/median [p10..p90], trace end", chip.name),

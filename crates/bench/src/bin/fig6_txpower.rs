@@ -4,22 +4,34 @@
 
 use bluefi_bench::{arg_f64, print_table, summarize};
 use bluefi_sim::devices::DeviceModel;
-use bluefi_sim::experiments::{run_beacon_session, SessionConfig, TxKind};
+use bluefi_sim::experiments::{run_beacon_sessions, SessionConfig, SessionTrial, TxKind};
 use bluefi_wifi::ChipModel;
 
 fn main() {
     let duration = arg_f64("--duration", 30.0);
     let powers = [0.0, 4.0, 5.0, 7.0, 8.0, 10.0, 12.0, 14.0, 16.0, 18.0, 20.0];
     for device in DeviceModel::all_phones() {
-        let mut rows = Vec::new();
-        for &p in &powers {
-            let mut cfg = SessionConfig::office(device.clone(), 1.5);
-            cfg.duration_s = duration;
-            let kind = TxKind::BlueFi { chip: ChipModel::ar9331(), tx_dbm: p };
-            let trace = run_beacon_session(&kind, &cfg, 0x600D + p as u64);
-            let rssi: Vec<f64> = trace.iter().map(|s| s.rssi_dbm).collect();
-            rows.push(vec![format!("{p:>2.0} dBm"), summarize(&rssi)]);
-        }
+        // One independent session per power level — batch the sweep.
+        let trials: Vec<SessionTrial> = powers
+            .iter()
+            .map(|&p| {
+                let mut cfg = SessionConfig::office(device.clone(), 1.5);
+                cfg.duration_s = duration;
+                SessionTrial {
+                    kind: TxKind::BlueFi { chip: ChipModel::ar9331(), tx_dbm: p },
+                    cfg,
+                    seed: 0x600D + p as u64,
+                }
+            })
+            .collect();
+        let rows: Vec<Vec<String>> = powers
+            .iter()
+            .zip(run_beacon_sessions(&trials))
+            .map(|(&p, trace)| {
+                let rssi: Vec<f64> = trace.iter().map(|s| s.rssi_dbm).collect();
+                vec![format!("{p:>2.0} dBm"), summarize(&rssi)]
+            })
+            .collect();
         print_table(
             &format!("Fig 6 ({}) — RSSI vs TX power at 1.5 m", device.name),
             &["tx power", "rssi dBm"],

@@ -5,7 +5,7 @@
 
 use bluefi_bench::{arg_f64, print_table, summarize};
 use bluefi_sim::devices::{BtTransmitter, DeviceModel};
-use bluefi_sim::experiments::{run_beacon_session, SessionConfig, TxKind};
+use bluefi_sim::experiments::{run_beacon_sessions, SessionConfig, SessionTrial, TxKind};
 use bluefi_wifi::ChipModel;
 
 fn main() {
@@ -16,23 +16,38 @@ fn main() {
         ("S6->Pixel", DeviceModel::pixel()),
         ("S6->iPhone", DeviceModel::iphone()),
     ];
-    let mut rows = Vec::new();
+    // Four dedicated-radio links plus the BlueFi comparability point: all
+    // independent sessions, batched together.
+    let mut labels: Vec<String> = Vec::new();
+    let mut trials: Vec<SessionTrial> = Vec::new();
     for (label, rx_dev) in pairs {
         let tx_name: &'static str = if label.starts_with("Pixel") { "Pixel" } else { "S6" };
         let mut cfg = SessionConfig::office(rx_dev, 1.5);
         cfg.duration_s = duration;
-        let kind = TxKind::Dedicated(BtTransmitter::phone(tx_name));
-        let trace = run_beacon_session(&kind, &cfg, 0x7A);
-        let rssi: Vec<f64> = trace.iter().map(|s| s.rssi_dbm).collect();
-        rows.push(vec![label.to_string(), summarize(&rssi)]);
+        labels.push(label.to_string());
+        trials.push(SessionTrial {
+            kind: TxKind::Dedicated(BtTransmitter::phone(tx_name)),
+            cfg,
+            seed: 0x7A,
+        });
     }
     // BlueFi at 8 dBm for the comparability claim.
     let mut cfg = SessionConfig::office(DeviceModel::pixel(), 1.5);
     cfg.duration_s = duration;
-    let kind = TxKind::BlueFi { chip: ChipModel::ar9331(), tx_dbm: 8.0 };
-    let trace = run_beacon_session(&kind, &cfg, 0x7A);
-    let rssi: Vec<f64> = trace.iter().map(|s| s.rssi_dbm).collect();
-    rows.push(vec!["BlueFi@8dBm->Pixel".into(), summarize(&rssi)]);
+    labels.push("BlueFi@8dBm->Pixel".into());
+    trials.push(SessionTrial {
+        kind: TxKind::BlueFi { chip: ChipModel::ar9331(), tx_dbm: 8.0 },
+        cfg,
+        seed: 0x7A,
+    });
+    let rows: Vec<Vec<String>> = labels
+        .into_iter()
+        .zip(run_beacon_sessions(&trials))
+        .map(|(label, trace)| {
+            let rssi: Vec<f64> = trace.iter().map(|s| s.rssi_dbm).collect();
+            vec![label, summarize(&rssi)]
+        })
+        .collect();
     print_table(
         "Fig 7a — dedicated Bluetooth hardware (high TX power, 1.5 m)",
         &["link", "rssi dBm"],

@@ -5,27 +5,35 @@
 
 use bluefi_bench::{arg_f64, print_table, summarize};
 use bluefi_sim::devices::DeviceModel;
-use bluefi_sim::experiments::{run_beacon_session, SessionConfig, TxKind};
+use bluefi_sim::experiments::{run_beacon_sessions, SessionConfig, SessionTrial, TxKind};
 use bluefi_wifi::ChipModel;
 
 fn main() {
     let duration = arg_f64("--duration", 120.0);
-    let mut rows = Vec::new();
-    for device in DeviceModel::all_phones() {
-        let mut cfg = SessionConfig::office(device.clone(), 1.5);
-        cfg.duration_s = duration;
-        // Saturated channel: almost every packet overlaps a strong burst.
-        cfg.channel.interference = Some((0.9, 20.0));
-        let kind = TxKind::BlueFi { chip: ChipModel::ar9331(), tx_dbm: 18.0 };
-        let trace = run_beacon_session(&kind, &cfg, 0x7C);
-        let rssi: Vec<f64> = trace.iter().map(|s| s.rssi_dbm).collect();
-        let received = trace.len();
-        rows.push(vec![
-            device.name.to_string(),
-            summarize(&rssi),
-            format!("{received}"),
-        ]);
-    }
+    // One independent saturated-channel session per phone — batched.
+    let devices = DeviceModel::all_phones();
+    let trials: Vec<SessionTrial> = devices
+        .iter()
+        .map(|device| {
+            let mut cfg = SessionConfig::office(device.clone(), 1.5);
+            cfg.duration_s = duration;
+            // Saturated channel: almost every packet overlaps a strong burst.
+            cfg.channel.interference = Some((0.9, 20.0));
+            SessionTrial {
+                kind: TxKind::BlueFi { chip: ChipModel::ar9331(), tx_dbm: 18.0 },
+                cfg,
+                seed: 0x7C,
+            }
+        })
+        .collect();
+    let rows: Vec<Vec<String>> = devices
+        .iter()
+        .zip(run_beacon_sessions(&trials))
+        .map(|(device, trace)| {
+            let rssi: Vec<f64> = trace.iter().map(|s| s.rssi_dbm).collect();
+            vec![device.name.to_string(), summarize(&rssi), format!("{}", trace.len())]
+        })
+        .collect();
     print_table(
         "Fig 7c — RSSI under saturated background WiFi traffic",
         &["device", "rssi dBm", "reports"],

@@ -7,18 +7,25 @@
 use bluefi_bench::{arg_f64, print_table, summarize};
 use bluefi_core::stages::Stage;
 use bluefi_sim::devices::DeviceModel;
-use bluefi_sim::experiments::{run_beacon_session, SessionConfig, TxKind};
+use bluefi_sim::experiments::{run_beacon_sessions, SessionConfig, SessionTrial, TxKind};
 
 fn main() {
     let duration = arg_f64("--duration", 20.0);
     for device in DeviceModel::all_phones() {
+        // One independent USRP session per stage — batched; the baseline
+        // delta is computed after the fan-in (stage order is preserved).
+        let stages = Stage::all();
+        let trials: Vec<SessionTrial> = stages
+            .iter()
+            .map(|&stage| {
+                let mut cfg = SessionConfig::office(device.clone(), 1.5);
+                cfg.duration_s = duration;
+                SessionTrial { kind: TxKind::UsrpStage { stage, tx_dbm: 10.0 }, cfg, seed: 0xF8 }
+            })
+            .collect();
         let mut rows = Vec::new();
         let mut baseline_mean = None;
-        for stage in Stage::all() {
-            let mut cfg = SessionConfig::office(device.clone(), 1.5);
-            cfg.duration_s = duration;
-            let kind = TxKind::UsrpStage { stage, tx_dbm: 10.0 };
-            let trace = run_beacon_session(&kind, &cfg, 0xF8);
+        for (&stage, trace) in stages.iter().zip(run_beacon_sessions(&trials)) {
             let rssi: Vec<f64> = trace.iter().map(|s| s.rssi_dbm).collect();
             let m = bluefi_dsp::power::mean(&rssi);
             if stage == Stage::Baseline {

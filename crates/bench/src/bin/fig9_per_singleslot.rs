@@ -8,6 +8,7 @@
 use bluefi_apps::audio::{sniff_channel, AudioConfig};
 use bluefi_bench::{arg_f64, arg_usize, print_table};
 use bluefi_bt::br::PacketType;
+use bluefi_core::par::par_map;
 use bluefi_wifi::channels::{bt_channel_freq_hz, subcarrier_in_channel, distance_to_pilot_or_null};
 
 fn main() {
@@ -21,11 +22,12 @@ fn main() {
         .step_by(2)
         .take(10)
         .collect();
-    let mut rows = Vec::new();
-    for &ch in &channels {
+    // Each channel sweep is an independent trial with its own seed — fan
+    // them out over the batch engine; rows come back in channel order.
+    let rows: Vec<Vec<String>> = par_map(&channels, |_, &ch| {
         let counts = sniff_channel(&cfg, ch, PacketType::Dm1, n, distance, 0xF9 + ch as u64);
         let sc = subcarrier_in_channel(bt_channel_freq_hz(ch), cfg.wifi_channel);
-        rows.push(vec![
+        vec![
             format!("{ch}"),
             format!("{sc:+.1}"),
             format!("{:.1}", distance_to_pilot_or_null(sc)),
@@ -33,8 +35,8 @@ fn main() {
             format!("{}", counts.crc_error),
             format!("{}", counts.header_error),
             format!("{:.1}%", counts.per() * 100.0),
-        ]);
-    }
+        ]
+    });
     print_table(
         "Fig 9 — single-slot PER by Bluetooth channel (WiFi channel 3)",
         &["bt ch", "subcarrier", "pilot clearance", "no error", "crc err", "hdr err", "PER"],

@@ -1,0 +1,191 @@
+//! Runtime profile of the synthesis hot path (paper Sec 4.8): single-packet
+//! latency through a warm scratch, steady-state allocations per packet (via
+//! the self-reporting probe in `bluefi_dsp::contracts` — debug/contracts
+//! builds only), and batch throughput/speedup at 1/2/4/N workers on the
+//! Fig 9 workload (one DM1-sized beacon per Bluetooth channel sweep).
+//!
+//! Writes a machine-readable report next to the repo root by default.
+//!
+//! Run: `cargo run --release -p bluefi-bench --bin runtime_profile
+//!       [--trials 100] [--out BENCH_runtime.json]`
+
+use bluefi_bench::{arg_str, arg_usize, print_table};
+use bluefi_bt::ble::{adv_air_bits, AdvPdu, AdvPduType};
+use bluefi_core::json::Json;
+use bluefi_core::par::{worker_count, BatchJob, SynthesisBatch};
+use bluefi_core::pipeline::{BlueFi, SynthesisScratch};
+use bluefi_dsp::contracts;
+use bluefi_dsp::power::{mean, percentile_sorted};
+use bluefi_wifi::channels::{bt_channel_freq_hz, plan_channel, usable_bt_channels_in_wifi};
+use std::time::Instant;
+
+fn beacon_bits(variant: u8) -> Vec<bool> {
+    let pdu = AdvPdu {
+        pdu_type: AdvPduType::AdvNonconnInd,
+        adv_address: [variant, 0x0E, 0xF1, 0x00, 0x00, 0x01],
+        adv_data: (0..30).map(|i| (i * 5 + 1) as u8 ^ variant).collect(),
+        tx_add: false,
+    };
+    adv_air_bits(&pdu, 38)
+}
+
+fn main() {
+    let trials = arg_usize("--trials", 100).max(1);
+    let out_path = arg_str("--out", "BENCH_runtime.json");
+    let bf = BlueFi::default();
+    // lint: allow(panic) channel 38 = 2426 MHz is plannable by construction
+    let plan = plan_channel(2.426e9).expect("advertising channel must be plannable");
+    let bits = beacon_bits(0);
+
+    // -- Single-packet latency through a warm scratch ---------------------
+    let mut scratch = SynthesisScratch::new();
+    bf.synthesize_at_with(&bits, plan, 71, &mut scratch); // warm-up
+    let lat_us: Vec<f64> = (0..trials)
+        .map(|_| {
+            let t0 = Instant::now();
+            std::hint::black_box(bf.synthesize_at_with(&bits, plan, 71, &mut scratch));
+            t0.elapsed().as_secs_f64() * 1e6
+        })
+        .collect();
+
+    // -- Steady-state allocations per packet ------------------------------
+    // The probe only counts in contracts+debug builds; release builds
+    // report the probe as unmeasured rather than a misleading zero.
+    let measured = contracts::enabled();
+    contracts::probe_reset();
+    let mut cold = SynthesisScratch::new();
+    bf.synthesize_at_with(&bits, plan, 71, &mut cold);
+    let warmup_allocs = contracts::probe_count();
+    bf.synthesize_at_with(&bits, plan, 71, &mut cold); // settle capacities
+    contracts::probe_reset();
+    for _ in 0..trials {
+        bf.synthesize_at_with(&bits, plan, 71, &mut cold);
+    }
+    let steady_allocs = contracts::probe_count() as f64 / trials as f64;
+
+    // -- Batch throughput on the Fig 9 workload ---------------------------
+    // One beacon per usable even-indexed Bluetooth channel, repeated until
+    // the batch is large enough to time.
+    let channels: Vec<u8> = usable_bt_channels_in_wifi(3).into_iter().step_by(2).take(10).collect();
+    let n_jobs = (trials * 2).max(8);
+    let jobs: Vec<BatchJob> = (0..n_jobs)
+        .map(|k| {
+            let ch = channels[k % channels.len()];
+            // lint: allow(panic) usable channels are plannable by construction
+            let plan = plan_channel(bt_channel_freq_hz(ch)).expect("usable channel plans");
+            BatchJob { bits: beacon_bits((k % 251) as u8), plan, seed: 71 }
+        })
+        .collect();
+    let mut thread_counts = vec![1usize, 2, 4, worker_count()];
+    thread_counts.sort_unstable();
+    thread_counts.dedup();
+    let mut batch_rows = Vec::new();
+    let mut batch_json = Vec::new();
+    let mut t1_s = 0.0f64;
+    let mut reference = None;
+    let mut bit_exact = true;
+    for &w in &thread_counts {
+        let batch = SynthesisBatch::with_workers(&bf, w);
+        batch.synthesize(&jobs[..jobs.len().min(w * 2)]); // warm per-thread state
+        let t0 = Instant::now();
+        let results = batch.synthesize(&jobs);
+        let dt = t0.elapsed().as_secs_f64();
+        if w == 1 {
+            t1_s = dt;
+            reference = Some(results.iter().map(|s| s.psdu.clone()).collect::<Vec<_>>());
+        } else if let Some(r) = &reference {
+            bit_exact &= results.len() == r.len()
+                && results.iter().zip(r).all(|(s, p)| &s.psdu == p);
+        }
+        let speedup = if dt > 0.0 && t1_s > 0.0 { t1_s / dt } else { 1.0 };
+        batch_rows.push(vec![
+            format!("{w}"),
+            format!("{:.3}", dt),
+            format!("{:.1}", n_jobs as f64 / dt),
+            format!("{speedup:.2}x"),
+        ]);
+        batch_json.push(Json::obj(vec![
+            ("workers", Json::Num(w as f64)),
+            ("seconds", Json::Num(dt)),
+            ("packets_per_s", Json::Num(n_jobs as f64 / dt)),
+            ("speedup_vs_1", Json::Num(speedup)),
+        ]));
+    }
+
+    // -- Report -----------------------------------------------------------
+    // Sort the latency series once; all percentiles read from it.
+    let mut lat_sorted = lat_us.clone();
+    lat_sorted.sort_by(|a, b| a.total_cmp(b));
+    print_table(
+        "Runtime profile — single-packet synthesis latency (warm scratch)",
+        &["mean µs", "median µs", "p10 µs", "p90 µs", "trials"],
+        &[vec![
+            format!("{:.1}", mean(&lat_us)),
+            format!("{:.1}", percentile_sorted(&lat_sorted, 50.0)),
+            format!("{:.1}", percentile_sorted(&lat_sorted, 10.0)),
+            format!("{:.1}", percentile_sorted(&lat_sorted, 90.0)),
+            format!("{trials}"),
+        ]],
+    );
+    if measured {
+        println!(
+            "\nallocations/packet: {steady_allocs:.2} steady-state \
+             ({warmup_allocs} during warm-up) over {trials} packets"
+        );
+    } else {
+        println!(
+            "\nallocations/packet: not measured (probe requires a debug build \
+             with the `contracts` feature; run without --release)"
+        );
+    }
+    print_table(
+        &format!("Runtime profile — batch throughput, {n_jobs} packets (Fig 9 workload)"),
+        &["workers", "seconds", "packets/s", "speedup"],
+        &batch_rows,
+    );
+    println!(
+        "\nparallel output bit-exact with sequential: {}",
+        if bit_exact { "yes" } else { "NO — determinism violated" }
+    );
+    let cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    if cpus < 2 {
+        println!(
+            "note: this host exposes {cpus} CPU — thread speedup is bounded \
+             at 1x here; rerun on a multi-core host for the scaling numbers"
+        );
+    }
+
+    let report = Json::obj(vec![
+        ("trials", Json::Num(trials as f64)),
+        ("host_cpus", Json::Num(cpus as f64)),
+        ("contracts_enabled", Json::Bool(measured)),
+        (
+            "single_packet",
+            Json::obj(vec![
+                ("mean_us", Json::Num(mean(&lat_us))),
+                ("median_us", Json::Num(percentile_sorted(&lat_sorted, 50.0))),
+                ("p10_us", Json::Num(percentile_sorted(&lat_sorted, 10.0))),
+                ("p90_us", Json::Num(percentile_sorted(&lat_sorted, 90.0))),
+            ]),
+        ),
+        (
+            "allocs_per_packet",
+            Json::obj(vec![
+                ("measured", Json::Bool(measured)),
+                ("steady_state", Json::Num(steady_allocs)),
+                ("warmup", Json::Num(warmup_allocs as f64)),
+            ]),
+        ),
+        (
+            "batch",
+            Json::obj(vec![
+                ("jobs", Json::Num(n_jobs as f64)),
+                ("threads", Json::Arr(batch_json)),
+                ("bit_exact", Json::Bool(bit_exact)),
+            ]),
+        ),
+    ]);
+    // lint: allow(panic) a report the caller asked for must be writable
+    std::fs::write(&out_path, report.render() + "\n").expect("write runtime report");
+    println!("wrote {out_path}");
+}

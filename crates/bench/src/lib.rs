@@ -9,7 +9,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use bluefi_dsp::power::{mean, median, percentile};
+use bluefi_dsp::power::{mean, median, percentile_sorted};
 
 /// Prints a simple aligned table.
 pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
@@ -37,16 +37,20 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
 }
 
 /// Summary statistics string `mean/median [p10..p90]` for a series.
+/// Sorts the series once and reads all three percentiles from it, rather
+/// than paying a clone + sort per percentile.
 pub fn summarize(series: &[f64]) -> String {
     if series.is_empty() {
         return "(no data)".into();
     }
+    let mut sorted = series.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
     format!(
         "{:6.1} / {:6.1}  [{:6.1} .. {:6.1}]  n={}",
         mean(series),
-        median(series),
-        percentile(series, 10.0),
-        percentile(series, 90.0),
+        percentile_sorted(&sorted, 50.0),
+        percentile_sorted(&sorted, 10.0),
+        percentile_sorted(&sorted, 90.0),
         series.len()
     )
 }
@@ -63,6 +67,11 @@ pub fn arg_f64(name: &str, default: f64) -> f64 {
 /// accepted when it denotes an integer that fits without loss.
 pub fn arg_usize(name: &str, default: usize) -> usize {
     arg_value(name).and_then(|v| parse_usize(&v)).unwrap_or(default)
+}
+
+/// String variant of [`arg_f64`].
+pub fn arg_str(name: &str, default: &str) -> String {
+    arg_value(name).unwrap_or_else(|| default.to_string())
 }
 
 fn arg_value(name: &str) -> Option<String> {

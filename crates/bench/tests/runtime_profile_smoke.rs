@@ -1,0 +1,56 @@
+//! Smoke test: the runtime profile binary runs, emits schema-valid JSON,
+//! and — since tests build with debug assertions and the default
+//! `contracts` feature — proves the zero-allocation steady state and the
+//! parallel/sequential bit-exactness on a tiny workload.
+
+use bluefi_core::json::Json;
+use std::process::Command;
+
+#[test]
+fn runtime_profile_emits_valid_report() {
+    let out_path = std::env::temp_dir().join("bluefi_runtime_profile_smoke.json");
+    let status = Command::new(env!("CARGO_BIN_EXE_runtime_profile"))
+        .args(["--trials", "2", "--out"])
+        .arg(&out_path)
+        .status()
+        .expect("runtime_profile must launch");
+    assert!(status.success(), "runtime_profile exited with {status}");
+
+    let text = std::fs::read_to_string(&out_path).expect("report file must exist");
+    let report = Json::parse(&text).expect("report must be valid JSON");
+
+    // Top-level schema.
+    assert_eq!(report.get("trials").and_then(Json::as_f64), Some(2.0));
+    assert!(report.get("host_cpus").and_then(Json::as_f64).unwrap_or(0.0) >= 1.0);
+    let single = report.get("single_packet").expect("single_packet section");
+    for key in ["mean_us", "median_us", "p10_us", "p90_us"] {
+        let v = single.get(key).and_then(Json::as_f64).expect(key);
+        assert!(v.is_finite() && v > 0.0, "{key} = {v}");
+    }
+
+    // This test binary is a debug+contracts build, so the probe must be
+    // live and the steady state must be allocation-free.
+    assert_eq!(report.get("contracts_enabled").and_then(Json::as_bool), Some(true));
+    let allocs = report.get("allocs_per_packet").expect("allocs section");
+    assert_eq!(allocs.get("measured").and_then(Json::as_bool), Some(true));
+    assert_eq!(
+        allocs.get("steady_state").and_then(Json::as_f64),
+        Some(0.0),
+        "hot path must not allocate after warm-up"
+    );
+    assert!(allocs.get("warmup").and_then(Json::as_f64).unwrap_or(0.0) > 0.0);
+
+    // Batch section: every thread config reports a finite throughput, and
+    // the parallel results matched the sequential reference bit-for-bit.
+    let batch = report.get("batch").expect("batch section");
+    assert_eq!(batch.get("bit_exact").and_then(Json::as_bool), Some(true));
+    let threads = batch.get("threads").and_then(Json::as_arr).expect("threads array");
+    assert!(!threads.is_empty());
+    for t in threads {
+        assert!(t.get("workers").and_then(Json::as_f64).unwrap_or(0.0) >= 1.0);
+        let pps = t.get("packets_per_s").and_then(Json::as_f64).expect("packets_per_s");
+        assert!(pps.is_finite() && pps > 0.0);
+    }
+
+    let _ = std::fs::remove_file(&out_path);
+}

@@ -7,9 +7,15 @@
 //! ratio BlueFi's "one OFDM symbol ≈ 4 Bluetooth bits" bookkeeping comes
 //! from.
 
-use bluefi_dsp::gaussian::shape_bits;
-use bluefi_dsp::phase::{accumulate_frequency, add_frequency_offset, phase_to_iq};
+use bluefi_dsp::gaussian::{gaussian_taps, shape_bits, shape_bits_to};
+use bluefi_dsp::phase::{
+    accumulate_frequency, accumulate_frequency_into, add_frequency_offset, phase_to_iq,
+};
 use bluefi_dsp::Cx;
+
+/// Gaussian filter span in symbols used by the modulator (plenty for
+/// BT = 0.5).
+const FILTER_SPAN: usize = 3;
 
 /// GFSK modulator parameters.
 #[derive(Debug, Clone, Copy)]
@@ -62,12 +68,67 @@ impl GfskParams {
 pub fn frequency_signal(bits: &[bool], p: &GfskParams) -> Vec<f64> {
     let sps = p.sps();
     let dev = p.deviation_hz / p.sample_rate_hz; // cycles/sample at full deviation
-    let shaped = shape_bits(bits, p.bt, sps, 3);
+    let shaped = shape_bits(bits, p.bt, sps, FILTER_SPAN);
     let guard = p.guard_bits * sps;
     let mut out = vec![0.0; guard];
     out.extend(shaped.iter().map(|&v| v * dev));
     out.extend(std::iter::repeat_n(0.0, guard));
     out
+}
+
+/// Reusable state for allocation-free GFSK modulation: the Gaussian taps
+/// (cached per parameter set) and the intermediate frequency buffer. One
+/// scratch per worker thread; after the first packet of a given length,
+/// modulation through the same scratch is allocation-free.
+#[derive(Debug, Clone, Default)]
+pub struct GfskScratch {
+    // (bt bit-pattern, sps) the cached taps were built for.
+    taps_key: Option<(u64, usize)>,
+    taps: Vec<f64>,
+    freq: Vec<f64>,
+}
+
+impl GfskScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> GfskScratch {
+        GfskScratch::default()
+    }
+
+    /// Scratch-buffer variant of [`frequency_signal`].
+    pub fn frequency_signal_into(&mut self, bits: &[bool], p: &GfskParams, out: &mut Vec<f64>) {
+        let sps = p.sps();
+        let dev = p.deviation_hz / p.sample_rate_hz;
+        let key = (p.bt.to_bits(), sps);
+        if self.taps_key != Some(key) {
+            self.taps = gaussian_taps(p.bt, sps, FILTER_SPAN);
+            self.taps_key = Some(key);
+            bluefi_dsp::contracts::probe_alloc();
+        }
+        let guard = p.guard_bits * sps;
+        let n = bits.len() * sps;
+        bluefi_dsp::contracts::ensure_len(out, guard + n + guard, 0.0);
+        out[..guard].fill(0.0);
+        out[guard + n..].fill(0.0);
+        shape_bits_to(bits, &self.taps, sps, dev, &mut out[guard..guard + n]);
+    }
+
+    /// Scratch-buffer variant of [`modulate_phase`].
+    pub fn modulate_phase_into(
+        &mut self,
+        bits: &[bool],
+        p: &GfskParams,
+        center_offset_hz: f64,
+        out: &mut Vec<f64>,
+    ) {
+        let mut freq = std::mem::take(&mut self.freq);
+        self.frequency_signal_into(bits, p, &mut freq);
+        accumulate_frequency_into(&freq, 0.0, out);
+        self.freq = freq;
+        // lint: allow(float-eq) exact 0.0 is the "no offset" sentinel, not a computed value
+        if center_offset_hz != 0.0 {
+            add_frequency_offset(out, center_offset_hz / p.sample_rate_hz);
+        }
+    }
 }
 
 /// Full GFSK modulation: packet bits → phase signal (radians) at baseband,
@@ -166,6 +227,19 @@ mod tests {
         let mid = (p.guard_bits + 6) * 20;
         let dev_cps = p.deviation_hz / p.sample_rate_hz;
         assert!((f[mid] - dev_cps).abs() < dev_cps * 0.01);
+    }
+
+    #[test]
+    fn scratch_modulation_matches_allocating_path() {
+        let p = GfskParams::default();
+        let mut scratch = GfskScratch::new();
+        let mut out = Vec::new();
+        for (len, offset) in [(16usize, 0.0f64), (48, 1e6), (16, -2.5e6), (80, 4e6)] {
+            let bits: Vec<bool> = (0..len).map(|i| (i * 11) % 5 < 2).collect();
+            scratch.modulate_phase_into(&bits, &p, offset, &mut out);
+            let fresh = modulate_phase(&bits, &p, offset);
+            assert_eq!(out, fresh, "len {len} offset {offset}");
+        }
     }
 
     #[test]

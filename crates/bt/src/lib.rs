@@ -18,5 +18,5 @@ pub mod hopping;
 pub mod receiver;
 
 pub use ble::{AdvChannel, AdvChannelError};
-pub use gfsk::GfskParams;
+pub use gfsk::{GfskParams, GfskScratch};
 pub use receiver::{GfskReceiver, ReceiverConfig};

@@ -31,3 +31,4 @@ pub mod viterbi;
 pub use convolutional::ConvEncoder;
 pub use puncture::CodeRate;
 pub use realtime::{FreeEdge, RealtimeDecoder};
+pub use viterbi::ViterbiScratch;

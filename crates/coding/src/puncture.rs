@@ -75,11 +75,22 @@ impl CodeRate {
 }
 
 /// Punctures an interleaved mother-code stream `[A0, B0, A1, B1, ...]`.
+/// Thin shim over [`puncture_into`].
 pub fn puncture(rate: CodeRate, mother: &[bool]) -> Vec<bool> {
+    let mut out = Vec::new();
+    puncture_into(rate, mother, &mut out);
+    out
+}
+
+/// Scratch-buffer variant of [`puncture`]: writes the surviving bits into
+/// `out` (cleared first), allocating only when `out`'s capacity must grow.
+pub fn puncture_into(rate: CodeRate, mother: &[bool], out: &mut Vec<bool>) {
     assert_eq!(mother.len() % 2, 0);
     let (ka, kb) = rate.pattern();
     let p = ka.len();
-    let mut out = Vec::with_capacity(mother.len() * rate.period_outputs() / (2 * p));
+    // The mother length bounds the output; reserving it once keeps every
+    // subsequent push allocation-free.
+    bluefi_dsp::contracts::ensure_capacity(out, mother.len());
     for (i, pair) in mother.chunks_exact(2).enumerate() {
         let ph = i % p;
         if ka[ph] {
@@ -103,7 +114,6 @@ pub fn puncture(rate: CodeRate, mother: &[bool]) -> Vec<bool> {
             );
         }
     }
-    out
 }
 
 /// A received mother-stream symbol: a hard bit or an erasure (a punctured
@@ -129,13 +139,26 @@ pub enum RxBit {
 /// `weights` must be `None` or the same length as `punctured`; missing
 /// weights default to 1.
 pub fn depuncture(rate: CodeRate, punctured: &[bool], weights: Option<&[u32]>) -> Vec<RxBit> {
+    let mut out = Vec::new();
+    depuncture_into(rate, punctured, weights, &mut out);
+    out
+}
+
+/// Scratch-buffer variant of [`depuncture`]: expands into `out` (resized to
+/// the mother-stream length), allocating only when `out` must grow.
+pub fn depuncture_into(
+    rate: CodeRate,
+    punctured: &[bool],
+    weights: Option<&[u32]>,
+    out: &mut Vec<RxBit>,
+) {
     if let Some(w) = weights {
         assert_eq!(w.len(), punctured.len());
     }
     let (ka, kb) = rate.pattern();
     let p = ka.len();
     let n_in = rate.n_inputs(punctured.len());
-    let mut out = Vec::with_capacity(n_in * 2);
+    bluefi_dsp::contracts::ensure_len(out, n_in * 2, RxBit::Erasure);
     let mut src = 0usize;
     let mut take = |keep: bool| -> RxBit {
         if keep {
@@ -149,8 +172,8 @@ pub fn depuncture(rate: CodeRate, punctured: &[bool], weights: Option<&[u32]>) -
     };
     for i in 0..n_in {
         let ph = i % p;
-        out.push(take(ka[ph]));
-        out.push(take(kb[ph]));
+        out[2 * i] = take(ka[ph]);
+        out[2 * i + 1] = take(kb[ph]);
     }
     // Stage contracts: every transmitted bit must be consumed exactly once,
     // and the expanded stream must cover all mother-code positions.
@@ -164,7 +187,6 @@ pub fn depuncture(rate: CodeRate, punctured: &[bool], weights: Option<&[u32]>) -
         "depuncture: produced {} mother positions for {n_in} input bits",
         out.len()
     );
-    out
 }
 
 #[cfg(test)]

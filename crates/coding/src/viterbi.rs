@@ -18,6 +18,174 @@
 use crate::convolutional::{transition_next, transition_output, NUM_STATES};
 use crate::puncture::RxBit;
 
+const INF: u64 = u64::MAX / 4;
+
+/// Reusable trellis state for the weighted Viterbi: path metrics, survivor
+/// storage, the per-state transition table, and a depuncture buffer.
+///
+/// One scratch amortizes every allocation the decoder needs; after the
+/// first decode of a given length, subsequent decodes through the same
+/// scratch are allocation-free. The scratch is plain mutable state — one
+/// per worker thread, never shared.
+#[derive(Debug, Clone)]
+pub struct ViterbiScratch {
+    // Path metrics ping-pong between these two buffers (Vecs so the
+    // per-step swap is a pointer swap, not a 512-byte copy).
+    metric: Vec<u64>,
+    next_metric: Vec<u64>,
+    // survivor[t][s] = chosen predecessor of state s at step t+1 (two
+    // predecessors map into each state, so the bit alone is not enough).
+    surv_prev: Vec<[u8; NUM_STATES]>,
+    // Per-state transitions: (next_state, out_a, out_b) for input 0 and 1.
+    table: [[(u8, bool, bool); 2]; NUM_STATES],
+    // Depuncture buffer for `decode_punctured_into`.
+    rx_buf: Vec<RxBit>,
+    // Re-encode buffers for `reencode_flips_into`.
+    reenc_mother: Vec<bool>,
+    reenc_punct: Vec<bool>,
+}
+
+impl Default for ViterbiScratch {
+    fn default() -> ViterbiScratch {
+        ViterbiScratch::new()
+    }
+}
+
+impl ViterbiScratch {
+    /// Builds a scratch with the transition table precomputed. Survivor
+    /// storage starts empty and grows to the longest stream decoded.
+    pub fn new() -> ViterbiScratch {
+        let mut table = [[(0u8, false, false); 2]; NUM_STATES];
+        for (s, row) in table.iter_mut().enumerate() {
+            for (i, slot) in row.iter_mut().enumerate() {
+                let input = i == 1;
+                let (a, b) = transition_output(s as u8, input);
+                *slot = (transition_next(s as u8, input), a, b);
+            }
+        }
+        ViterbiScratch {
+            metric: vec![INF; NUM_STATES],
+            next_metric: vec![INF; NUM_STATES],
+            surv_prev: Vec::new(),
+            table,
+            rx_buf: Vec::new(),
+            reenc_mother: Vec::new(),
+            reenc_punct: Vec::new(),
+        }
+    }
+
+    /// Decodes a (depunctured) mother-code stream into `out` (resized to
+    /// one bit per RX pair). Same semantics as [`decode`]; allocates only
+    /// when the survivor storage or `out` must grow.
+    pub fn decode_into(&mut self, rx: &[RxBit], terminate: bool, out: &mut Vec<bool>) {
+        assert_eq!(rx.len() % 2, 0, "mother stream must be (A,B) pairs");
+        let steps = rx.len() / 2;
+        bluefi_dsp::contracts::ensure_len(out, steps, false);
+        if steps == 0 {
+            return;
+        }
+        bluefi_dsp::contracts::ensure_len(&mut self.surv_prev, steps, [0u8; NUM_STATES]);
+
+        self.metric.iter_mut().for_each(|m| *m = INF);
+        self.metric[0] = 0;
+
+        let cost = |r: RxBit, out: bool| -> u64 {
+            match r {
+                RxBit::Erasure => 0,
+                RxBit::Bit { value, weight } => {
+                    if value == out {
+                        0
+                    } else {
+                        weight as u64
+                    }
+                }
+            }
+        };
+
+        for t in 0..steps {
+            let ra = rx[2 * t];
+            let rb = rx[2 * t + 1];
+            self.next_metric.iter_mut().for_each(|m| *m = INF);
+            let prev_of = &mut self.surv_prev[t];
+            *prev_of = [0u8; NUM_STATES];
+            for s in 0..NUM_STATES {
+                let m = self.metric[s];
+                if m >= INF {
+                    continue;
+                }
+                for &(ns, a, b) in &self.table[s] {
+                    let nm = m + cost(ra, a) + cost(rb, b);
+                    if nm < self.next_metric[ns as usize] {
+                        self.next_metric[ns as usize] = nm;
+                        prev_of[ns as usize] = s as u8;
+                    }
+                }
+            }
+            std::mem::swap(&mut self.metric, &mut self.next_metric);
+        }
+
+        // Pick the final state.
+        let mut state = if terminate {
+            0usize
+        } else {
+            self.metric
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, &m)| m)
+                .map(|(s, _)| s)
+                .unwrap_or(0)
+        };
+
+        // Trace back. The input bit that led into `state` is its bit 5 (the
+        // most-recent-input slot of the state register).
+        for t in (0..steps).rev() {
+            out[t] = (state >> 5) & 1 == 1;
+            state = self.surv_prev[t][state] as usize;
+        }
+    }
+
+    /// Scratch variant of [`decode_punctured`]: depunctures through the
+    /// internal RX buffer, then decodes into `out`.
+    pub fn decode_punctured_into(
+        &mut self,
+        rate: crate::puncture::CodeRate,
+        punctured: &[bool],
+        weights: Option<&[u32]>,
+        terminate: bool,
+        out: &mut Vec<bool>,
+    ) {
+        let mut rx = std::mem::take(&mut self.rx_buf);
+        crate::puncture::depuncture_into(rate, punctured, weights, &mut rx);
+        self.decode_into(&rx, terminate, out);
+        self.rx_buf = rx;
+    }
+
+    /// Scratch variant of [`reencode_flips`]: re-encodes through the internal
+    /// buffers and writes the differing positions into `flips` (cleared
+    /// first), allocating only when a buffer must grow.
+    pub fn reencode_flips_into(
+        &mut self,
+        rate: crate::puncture::CodeRate,
+        decoded: &[bool],
+        target_punctured: &[bool],
+        flips: &mut Vec<usize>,
+    ) {
+        crate::convolutional::encode_r12_into(decoded, &mut self.reenc_mother);
+        crate::puncture::puncture_into(rate, &self.reenc_mother, &mut self.reenc_punct);
+        assert_eq!(self.reenc_punct.len(), target_punctured.len());
+        let cap = flips.capacity();
+        flips.clear();
+        for (i, (a, b)) in self.reenc_punct.iter().zip(target_punctured).enumerate() {
+            if a != b {
+                flips.push(i);
+            }
+        }
+        if flips.capacity() > cap {
+            bluefi_dsp::contracts::probe_alloc();
+        }
+    }
+}
+
 /// Decodes a (depunctured) mother-code stream back to information bits.
 ///
 /// `rx` is the mother-position stream `[A0, B0, A1, B1, ...]` as produced by
@@ -26,88 +194,12 @@ use crate::puncture::RxBit;
 /// survivor must end in state 0 (use when the stream includes tail bits);
 /// otherwise the best final state wins.
 ///
-/// Returns the decoded information bits (one per RX pair).
+/// Returns the decoded information bits (one per RX pair). Thin shim over
+/// [`ViterbiScratch::decode_into`]; hot paths should hold a scratch.
 pub fn decode(rx: &[RxBit], terminate: bool) -> Vec<bool> {
-    assert_eq!(rx.len() % 2, 0, "mother stream must be (A,B) pairs");
-    let steps = rx.len() / 2;
-    if steps == 0 {
-        return Vec::new();
-    }
-
-    const INF: u64 = u64::MAX / 4;
-    let mut metric = vec![INF; NUM_STATES];
-    metric[0] = 0;
-    let mut next_metric = vec![INF; NUM_STATES];
-    // survivor[t][s] = input bit leading into state s at step t+1, plus the
-    // predecessor is recomputable from s and that bit? No: two predecessors
-    // map into s; we store the chosen predecessor state directly.
-    let mut surv_prev: Vec<[u8; NUM_STATES]> = Vec::with_capacity(steps);
-
-    // Precompute per-state transition tables once.
-    let mut table = [[(0u8, false, false); 2]; NUM_STATES];
-    for (s, row) in table.iter_mut().enumerate() {
-        for (i, slot) in row.iter_mut().enumerate() {
-            let input = i == 1;
-            let (a, b) = transition_output(s as u8, input);
-            *slot = (transition_next(s as u8, input), a, b);
-        }
-    }
-
-    let cost = |r: RxBit, out: bool| -> u64 {
-        match r {
-            RxBit::Erasure => 0,
-            RxBit::Bit { value, weight } => {
-                if value == out {
-                    0
-                } else {
-                    weight as u64
-                }
-            }
-        }
-    };
-
-    for t in 0..steps {
-        let ra = rx[2 * t];
-        let rb = rx[2 * t + 1];
-        next_metric.iter_mut().for_each(|m| *m = INF);
-        let mut prev_of = [0u8; NUM_STATES];
-        for s in 0..NUM_STATES {
-            let m = metric[s];
-            if m >= INF {
-                continue;
-            }
-            for &(ns, a, b) in &table[s] {
-                let nm = m + cost(ra, a) + cost(rb, b);
-                if nm < next_metric[ns as usize] {
-                    next_metric[ns as usize] = nm;
-                    prev_of[ns as usize] = s as u8;
-                }
-            }
-        }
-        surv_prev.push(prev_of);
-        std::mem::swap(&mut metric, &mut next_metric);
-    }
-
-    // Pick the final state.
-    let mut state = if terminate {
-        0usize
-    } else {
-        metric
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, &m)| m)
-            .map(|(s, _)| s)
-            .unwrap_or(0)
-    };
-
-    // Trace back. The input bit that led into `state` is its bit 5 (the
-    // most-recent-input slot of the state register).
-    let mut bits = vec![false; steps];
-    for t in (0..steps).rev() {
-        bits[t] = (state >> 5) & 1 == 1;
-        state = surv_prev[t][state] as usize;
-    }
-    bits
+    let mut out = Vec::new();
+    ViterbiScratch::new().decode_into(rx, terminate, &mut out);
+    out
 }
 
 /// Convenience wrapper: decode a punctured stream at `rate` with optional
@@ -255,5 +347,25 @@ mod tests {
     #[test]
     fn empty_input_decodes_to_empty() {
         assert!(decode(&[], false).is_empty());
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_decode() {
+        // One scratch across streams of different lengths, rates, and
+        // weightings must reproduce the one-shot decoder bit for bit.
+        let mut scratch = ViterbiScratch::new();
+        let mut out = Vec::new();
+        for (len, k) in [(120usize, 5u64), (40, 3), (200, 11)] {
+            let mut data = pattern_bits(len, k);
+            data.extend([false; 6]);
+            for rate in [CodeRate::R12, CodeRate::R23, CodeRate::R56] {
+                let n = data.len() - data.len() % rate.period_inputs();
+                let tx = puncture(rate, &encode_r12(&data[..n]));
+                let weights: Vec<u32> = (0..tx.len() as u32).map(|i| 1 + i % 7).collect();
+                scratch.decode_punctured_into(rate, &tx, Some(&weights), false, &mut out);
+                let fresh = decode_punctured(rate, &tx, Some(&weights), false);
+                assert_eq!(out, fresh, "len {len} rate {rate:?}");
+            }
+        }
     }
 }

@@ -99,12 +99,29 @@ impl CpCompat {
     /// Note the index sets: samples `split..=L` of the CP region and
     /// `64+split..64+L` of the tail are the only ones differing from θ.
     pub fn make_compatible(&self, theta: &[f64], extend_freq_cps: f64) -> Vec<f64> {
+        let mut ext = Vec::new();
+        let mut out = Vec::new();
+        self.make_compatible_into(theta, extend_freq_cps, &mut ext, &mut out);
+        out
+    }
+
+    /// Scratch-buffer variant of [`CpCompat::make_compatible`]: extends θ
+    /// through `ext` and builds θ̂ into `out`, allocating only when a buffer
+    /// must grow.
+    pub fn make_compatible_into(
+        &self,
+        theta: &[f64],
+        extend_freq_cps: f64,
+        ext: &mut Vec<f64>,
+        out: &mut Vec<f64>,
+    ) {
         // One extra lookahead sample: the last block's CP tail references
         // θ[N+64+L], the sample just past the block.
-        let theta = self.extend(theta, extend_freq_cps);
+        self.extend_into(theta, extend_freq_cps, ext);
+        let theta = &ext[..];
         let bl = self.block_len();
         debug_assert_eq!((theta.len() - 1) % bl, 0);
-        let mut out = vec![0.0; theta.len() - 1];
+        bluefi_dsp::contracts::ensure_len(out, theta.len() - 1, 0.0);
         for block in 0..out.len() / bl {
             let base = block * bl;
             for n in 0..bl {
@@ -150,7 +167,6 @@ impl CpCompat {
                 };
             }
         }
-        out
     }
 
     /// Extends θ to a whole number of blocks *plus one lookahead sample* by
@@ -158,15 +174,22 @@ impl CpCompat {
     /// normally the Bluetooth channel's offset, so the carrier just keeps
     /// spinning).
     pub fn extend(&self, theta: &[f64], extend_freq_cps: f64) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.extend_into(theta, extend_freq_cps, &mut out);
+        out
+    }
+
+    /// Scratch-buffer variant of [`CpCompat::extend`].
+    pub fn extend_into(&self, theta: &[f64], extend_freq_cps: f64, out: &mut Vec<f64>) {
         let bl = self.block_len();
         let target = self.n_blocks(theta.len().max(1)) * bl + 1;
-        let mut out = theta.to_vec();
-        let mut last = out.last().copied().unwrap_or(0.0);
-        while out.len() < target {
+        bluefi_dsp::contracts::ensure_len(out, target, 0.0);
+        out[..theta.len()].copy_from_slice(theta);
+        let mut last = theta.last().copied().unwrap_or(0.0);
+        for slot in out[theta.len()..].iter_mut() {
             last += 2.0 * std::f64::consts::PI * extend_freq_cps;
-            out.push(last);
+            *slot = last;
         }
-        out
     }
 
     /// Extracts the 64-sample symbol bodies (CP stripped) — the waveform the

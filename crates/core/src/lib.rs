@@ -29,6 +29,7 @@
 pub mod check;
 pub mod cp;
 pub mod json;
+pub mod par;
 pub mod pipeline;
 pub mod qam;
 pub mod reversal;
@@ -38,7 +39,8 @@ pub mod verify;
 
 pub use cp::CpCompat;
 pub use json::{Json, ToJson};
-pub use pipeline::{BlueFi, Synthesis};
+pub use par::{par_map, par_map_scratch, worker_count, BatchJob, SynthesisBatch};
+pub use pipeline::{BlueFi, Synthesis, SynthesisScratch};
 pub use qam::{Quantizer, ScaleMode};
 pub use reversal::{DecodeStrategy, WeightProfile};
 pub use rng::{Rng, SeedableRng, StdRng};

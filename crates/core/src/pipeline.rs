@@ -2,14 +2,17 @@
 //! PSDU bytes out (paper Secs 2.2–2.8 and 3).
 
 use crate::cp::CpCompat;
-use crate::qam::{Quantizer, ScaleMode, DEFAULT_SCALE};
+use crate::qam::{QuantizedSymbol, Quantizer, ScaleMode, DEFAULT_SCALE};
 use crate::reversal::{
-    coded_stream, extract_psdu, reverse_fec, DecodeStrategy, WeightProfile,
+    extract_psdu_into, reverse_fec_with, DecodeStrategy, Reversal, WeightProfile,
 };
-use bluefi_bt::gfsk::{modulate_phase, GfskParams};
+use bluefi_bt::gfsk::{GfskParams, GfskScratch};
+use bluefi_coding::ViterbiScratch;
+use bluefi_dsp::Cx;
 use bluefi_wifi::channels::{plan_channel, ChannelPlan};
+use bluefi_wifi::qam::{demap_point_into, Modulation};
 use bluefi_wifi::subcarriers::SUBCARRIER_SPACING_HZ;
-use bluefi_wifi::Mcs;
+use bluefi_wifi::{Interleaver, Mcs};
 
 /// BlueFi synthesizer configuration.
 #[derive(Debug, Clone)]
@@ -61,6 +64,66 @@ pub struct Synthesis {
     pub mean_quant_error_db: f64,
 }
 
+/// A per-worker arena holding every buffer one packet synthesis needs.
+///
+/// The first synthesis through a fresh scratch allocates and warms each
+/// buffer; subsequent syntheses of same-or-smaller packets through the same
+/// scratch perform **zero heap allocations** (checked by the allocation
+/// probe in `bluefi_dsp::contracts` and the `runtime_profile` bench). The
+/// scratch is plain mutable state — one per thread, never shared.
+#[derive(Debug, Clone, Default)]
+pub struct SynthesisScratch {
+    gfsk: GfskScratch,
+    phase: Vec<f64>,
+    theta_ext: Vec<f64>,
+    theta_hat: Vec<f64>,
+    // Quantizer cached per (modulation, scale mode): construction runs a
+    // debug-expensive constellation contract.
+    quantizer: Option<(Modulation, ScaleMode, Quantizer)>,
+    // Interleaver cached per modulation: construction runs a
+    // debug-expensive bijectivity contract.
+    interleaver: Option<(Modulation, Interleaver)>,
+    fft_buf: Vec<Cx>,
+    sym: QuantizedSymbol,
+    demap: Vec<bool>,
+    interleaved: Vec<bool>,
+    block: Vec<bool>,
+    w_of: Vec<u32>,
+    coded: Vec<bool>,
+    weights: Vec<u32>,
+    vit: ViterbiScratch,
+    rev: Reversal,
+    // The previous result, recycled for its psdu/flips capacity.
+    result: Option<Synthesis>,
+}
+
+impl SynthesisScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> SynthesisScratch {
+        SynthesisScratch::default()
+    }
+
+    fn quantizer_for(&mut self, modulation: Modulation, mode: ScaleMode) -> &Quantizer {
+        match &self.quantizer {
+            Some((m, s, _)) if *m == modulation && *s == mode => {}
+            _ => self.quantizer = Some((modulation, mode, Quantizer::new(modulation, mode))),
+        }
+        // lint: allow(panic) the match arm above guarantees Some
+        &self.quantizer.as_ref().unwrap().2
+    }
+
+    fn interleaver_for(&mut self, modulation: Modulation) -> Interleaver {
+        match &self.interleaver {
+            Some((m, il)) if *m == modulation => *il,
+            _ => {
+                let il = Interleaver::new(modulation);
+                self.interleaver = Some((modulation, il));
+                il
+            }
+        }
+    }
+}
+
 impl BlueFi {
     /// Synthesizes a PSDU whose transmission emits `bt_bits` as GFSK on the
     /// absolute frequency `bt_freq_hz`, choosing the WiFi channel by the
@@ -74,9 +137,42 @@ impl BlueFi {
         Some(self.synthesize_at(bt_bits, plan, seed))
     }
 
+    /// Scratch-buffer variant of [`BlueFi::synthesize`].
+    pub fn synthesize_with<'s>(
+        &self,
+        bt_bits: &[bool],
+        bt_freq_hz: f64,
+        seed: u8,
+        scratch: &'s mut SynthesisScratch,
+    ) -> Option<&'s Synthesis> {
+        let plan = plan_channel(bt_freq_hz)?;
+        Some(self.synthesize_at_with(bt_bits, plan, seed, scratch))
+    }
+
     /// Synthesizes against an explicit channel plan (used when the WiFi
-    /// channel is pinned, e.g. the single-channel AFH audio mode).
+    /// channel is pinned, e.g. the single-channel AFH audio mode). Thin shim
+    /// over [`BlueFi::synthesize_at_with`].
     pub fn synthesize_at(&self, bt_bits: &[bool], plan: ChannelPlan, seed: u8) -> Synthesis {
+        let mut scratch = SynthesisScratch::new();
+        self.synthesize_at_with(bt_bits, plan, seed, &mut scratch);
+        // lint: allow(panic) synthesize_at_with always stores a result
+        scratch.result.take().unwrap()
+    }
+
+    /// Scratch-buffer variant of [`BlueFi::synthesize_at`]: the whole
+    /// pipeline — GFSK modulation, CP compatibility, per-symbol FFT
+    /// quantization, demap/deinterleave, FEC reversal, descramble — runs
+    /// through `scratch`'s buffers, fused per symbol, with zero steady-state
+    /// heap allocations. The returned reference borrows the result stored in
+    /// the scratch; clone it to keep it past the next call.
+    pub fn synthesize_at_with<'s>(
+        &self,
+        bt_bits: &[bool],
+        plan: ChannelPlan,
+        seed: u8,
+        scratch: &'s mut SynthesisScratch,
+    ) -> &'s Synthesis {
+        let s = scratch;
         let mcs = self.strategy.mcs();
         // Synthesize at the (possibly integer-snapped) transmit subcarrier.
         let offset_hz = plan.tx_subcarrier * SUBCARRIER_SPACING_HZ;
@@ -84,40 +180,78 @@ impl BlueFi {
 
         // Sec 2.3: GFSK bits -> frequency -> phase, recentered on the WiFi
         // channel *before* CP construction.
-        let phase = modulate_phase(bt_bits, &self.gfsk, offset_hz);
+        s.gfsk.modulate_phase_into(bt_bits, &self.gfsk, offset_hz, &mut s.phase);
 
         // Sec 2.4: CP- and windowing-compatible phase.
-        let theta_hat = self.cp.make_compatible(&phase, offset_cps);
-        let bodies = self.cp.strip_cp(&theta_hat);
-        let n_symbols = bodies.len();
+        self.cp
+            .make_compatible_into(&s.phase, offset_cps, &mut s.theta_ext, &mut s.theta_hat);
+        let bl = self.cp.block_len();
+        let n_symbols = s.theta_hat.len() / bl;
 
-        // Sec 2.5: per-symbol FFT + constellation quantization.
-        let quantizer = Quantizer::new(mcs.modulation, self.scale);
-        let symbols: Vec<_> = bodies.iter().map(|b| quantizer.quantize_body(b)).collect();
-        // In-band error: what the Bluetooth receiver's channel filter sees.
-        let mean_quant_error_db = symbols
-            .iter()
-            .map(|s| s.in_band_error_db(plan.tx_subcarrier, self.weights.band))
-            .sum::<f64>()
-            / n_symbols.max(1) as f64;
+        // Secs 2.5 + 2.7 front half, fused per symbol: FFT + constellation
+        // quantization, then demap and deinterleave straight into the coded
+        // stream — no per-symbol storage.
+        s.quantizer_for(mcs.modulation, self.scale);
+        let il = s.interleaver_for(mcs.modulation);
+        let ncbps = il.block_len();
+        let bps = mcs.modulation.bits_per_symbol();
+        bluefi_dsp::contracts::ensure_len(&mut s.w_of, ncbps, 0);
+        for (k, w) in s.w_of.iter_mut().enumerate() {
+            *w = self.weights.weight_at(il.subcarrier_of(k), plan.tx_subcarrier);
+        }
+        bluefi_dsp::contracts::ensure_capacity(&mut s.coded, n_symbols * ncbps);
+        bluefi_dsp::contracts::ensure_capacity(&mut s.weights, n_symbols * ncbps);
+        // lint: allow(panic) quantizer_for above guarantees Some
+        let quantizer = &s.quantizer.as_ref().unwrap().2;
+        let mut err_sum = 0.0;
+        for b in 0..n_symbols {
+            let body = &s.theta_hat[b * bl + self.cp.cp_len..(b + 1) * bl];
+            quantizer.quantize_body_into(body, &mut s.fft_buf, &mut s.sym);
+            // In-band error: what the Bluetooth receiver's filter sees.
+            err_sum += s.sym.in_band_error_db(plan.tx_subcarrier, self.weights.band);
+            bluefi_dsp::contracts::ensure_len(&mut s.interleaved, ncbps, false);
+            for (d, &p) in s.sym.points.iter().enumerate() {
+                demap_point_into(mcs.modulation, p, &mut s.demap);
+                s.interleaved[d * bps..(d + 1) * bps].copy_from_slice(&s.demap);
+            }
+            il.deinterleave_into(&s.interleaved, &mut s.block);
+            s.coded.extend_from_slice(&s.block);
+            s.weights.extend_from_slice(&s.w_of);
+        }
+        let mean_quant_error_db = err_sum / n_symbols.max(1) as f64;
 
-        // Sec 2.7: demap, deinterleave, weighted FEC reversal.
-        let (coded, weights) = coded_stream(&symbols, mcs, plan.tx_subcarrier, &self.weights);
-        let mut rev = reverse_fec(&coded, &weights, self.strategy, plan.tx_subcarrier);
+        // Sec 2.7 back half: weighted FEC reversal.
+        reverse_fec_with(
+            &s.coded,
+            &s.weights,
+            self.strategy,
+            plan.tx_subcarrier,
+            &mut s.vit,
+            &mut s.rev,
+        );
 
-        // Sec 2.8 + framing: force the chip-owned bits, descramble, pack.
-        let (psdu, forced_bits) = extract_psdu(&mut rev.scrambled, seed);
+        // Sec 2.8 + framing: force the chip-owned bits, descramble, pack —
+        // recycling the previous result's buffers.
+        let (mut psdu, mut flips) = match s.result.take() {
+            Some(prev) => (prev.psdu, prev.flips),
+            None => (Vec::new(), Vec::new()),
+        };
+        let forced_bits = extract_psdu_into(&mut s.rev.scrambled, seed, &mut psdu);
+        bluefi_dsp::contracts::ensure_len(&mut flips, s.rev.flips.len(), 0);
+        flips.copy_from_slice(&s.rev.flips);
 
-        Synthesis {
+        s.result = Some(Synthesis {
             psdu,
             plan,
             mcs,
             seed,
             n_symbols,
-            flips: rev.flips,
+            flips,
             forced_bits,
             mean_quant_error_db,
-        }
+        });
+        // lint: allow(panic) assigned on the line above
+        s.result.as_ref().unwrap()
     }
 }
 
@@ -191,6 +325,32 @@ mod tests {
         for &f in &syn.flips {
             let sc = il.subcarrier_of(f % ncbps);
             assert!(sc <= -4, "flip on subcarrier {sc}");
+        }
+    }
+
+    #[test]
+    fn scratch_synthesis_matches_one_shot() {
+        // One scratch reused across strategies, channels, and seeds must
+        // reproduce the allocating path exactly — every field.
+        let mut scratch = SynthesisScratch::new();
+        for strategy in [DecodeStrategy::WeightedViterbi, DecodeStrategy::Realtime] {
+            let bf = BlueFi { strategy, ..Default::default() };
+            for (freq, seed) in [(2.426e9, 71u8), (2.444e9, 13)] {
+                let fresh = bf.synthesize(&beacon_bits(), freq, seed).unwrap();
+                let via = bf
+                    .synthesize_with(&beacon_bits(), freq, seed, &mut scratch)
+                    .unwrap();
+                assert_eq!(via.psdu, fresh.psdu, "{strategy:?} {freq} {seed}");
+                assert_eq!(via.flips, fresh.flips);
+                assert_eq!(via.n_symbols, fresh.n_symbols);
+                assert_eq!(via.forced_bits, fresh.forced_bits);
+                assert!(
+                    (via.mean_quant_error_db - fresh.mean_quant_error_db).abs() < 1e-12,
+                    "{} vs {}",
+                    via.mean_quant_error_db,
+                    fresh.mean_quant_error_db
+                );
+            }
         }
     }
 

@@ -24,10 +24,11 @@
 //!   exceeds the grid corner and clamps — harmless for GFSK, whose
 //!   frequency transitions keep the energy split.
 
-use bluefi_dsp::fft::bin_of_subcarrier;
+use bluefi_dsp::fft::{bin_of_subcarrier, fft_plan};
 use bluefi_dsp::{Cx, FftPlan};
 use bluefi_wifi::qam::{quantize_point, Modulation};
 use bluefi_wifi::subcarriers::{data_subcarriers, FFT_SIZE};
+use std::sync::Arc;
 
 /// The paper's fixed scale factor (Sec 2.5) in standard constellation
 /// units: two-tone peak (32·A·…) lands at ~91 % of the outermost level.
@@ -45,7 +46,7 @@ pub enum ScaleMode {
 }
 
 /// One quantized OFDM symbol.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct QuantizedSymbol {
     /// Constellation points on the 52 data subcarriers (unnormalized
     /// units), in data-subcarrier order.
@@ -91,61 +92,89 @@ impl QuantizedSymbol {
 pub struct Quantizer {
     modulation: Modulation,
     mode: ScaleMode,
-    plan: FftPlan,
+    plan: Arc<FftPlan>,
 }
 
 impl Quantizer {
     /// Creates a quantizer for `modulation` (64-QAM in the real system;
-    /// 256/1024-QAM for the Sec 5.1 ablation).
+    /// 256/1024-QAM for the Sec 5.1 ablation). The FFT plan comes from the
+    /// process-wide cache, so construction is cheap after the first call.
     pub fn new(modulation: Modulation, mode: ScaleMode) -> Quantizer {
         // Stage contract: the grid this quantizer snaps to must carry the
         // standard's unit-power normalization, or residue/error_db readings
         // are biased.
         bluefi_wifi::qam::check_constellation_unit_energy(modulation);
-        Quantizer { modulation, mode, plan: FftPlan::new(FFT_SIZE) }
+        Quantizer { modulation, mode, plan: fft_plan(FFT_SIZE) }
     }
 
-    /// Quantizes one 64-sample body phase signal.
+    /// Quantizes one 64-sample body phase signal. Thin shim over
+    /// [`Quantizer::quantize_body_into`].
     pub fn quantize_body(&self, body_phase: &[f64]) -> QuantizedSymbol {
+        let mut fft_buf = Vec::new();
+        let mut out = QuantizedSymbol::default();
+        self.quantize_body_into(body_phase, &mut fft_buf, &mut out);
+        out
+    }
+
+    /// Scratch-buffer variant of [`Quantizer::quantize_body`]: runs the FFT
+    /// through `fft_buf` and writes the quantized symbol into `out`, reusing
+    /// both buffers' capacity. Allocation-free at steady state for
+    /// [`ScaleMode::Fixed`]; the [`ScaleMode::Dynamic`] grid search keeps one
+    /// internal candidate symbol per call (its growth is probe-counted).
+    pub fn quantize_body_into(
+        &self,
+        body_phase: &[f64],
+        fft_buf: &mut Vec<Cx>,
+        out: &mut QuantizedSymbol,
+    ) {
         assert_eq!(body_phase.len(), 64);
         match self.mode {
-            ScaleMode::Fixed(s) => self.quantize_at_scale(body_phase, s),
+            ScaleMode::Fixed(s) => self.quantize_at_scale_into(body_phase, s, fft_buf, out),
             ScaleMode::Dynamic => {
                 let mut s = 0.7 * DEFAULT_SCALE;
-                let mut best = self.quantize_at_scale(body_phase, s);
+                self.quantize_at_scale_into(body_phase, s, fft_buf, out);
+                let mut cand = QuantizedSymbol::default();
                 s += 0.05 * DEFAULT_SCALE;
                 while s <= 1.3 * DEFAULT_SCALE {
-                    let cand = self.quantize_at_scale(body_phase, s);
+                    self.quantize_at_scale_into(body_phase, s, fft_buf, &mut cand);
                     // Compare normalized error so the scale itself does not
                     // bias the comparison.
-                    if cand.error_db() < best.error_db() {
-                        best = cand;
+                    if cand.error_db() < out.error_db() {
+                        std::mem::swap(out, &mut cand);
                     }
                     s += 0.05 * DEFAULT_SCALE;
                 }
-                best
             }
         }
     }
 
-    fn quantize_at_scale(&self, body_phase: &[f64], scale: f64) -> QuantizedSymbol {
-        let mut buf: Vec<Cx> = body_phase.iter().map(|&p| Cx::expj(p) * scale).collect();
-        self.plan.forward(&mut buf);
-        let mut points = Vec::with_capacity(52);
-        let mut residue = 0.0;
-        let mut energy = 0.0;
-        let mut per_subcarrier = Vec::with_capacity(52);
-        for &sc in data_subcarriers().iter() {
-            let x = buf[bin_of_subcarrier(sc, FFT_SIZE)];
+    fn quantize_at_scale_into(
+        &self,
+        body_phase: &[f64],
+        scale: f64,
+        fft_buf: &mut Vec<Cx>,
+        out: &mut QuantizedSymbol,
+    ) {
+        bluefi_dsp::contracts::ensure_len(fft_buf, body_phase.len(), Cx::ZERO);
+        for (slot, &p) in fft_buf.iter_mut().zip(body_phase) {
+            *slot = Cx::expj(p) * scale;
+        }
+        self.plan.forward(fft_buf);
+        bluefi_dsp::contracts::ensure_len(&mut out.points, 52, Cx::ZERO);
+        bluefi_dsp::contracts::ensure_len(&mut out.per_subcarrier, 52, (0.0, 0.0));
+        out.scale = scale;
+        out.residue = 0.0;
+        out.energy = 0.0;
+        for (d, &sc) in data_subcarriers().iter().enumerate() {
+            let x = fft_buf[bin_of_subcarrier(sc, FFT_SIZE)];
             let q = quantize_point(x, self.modulation);
             let r = (x - q).norm_sq();
             let e = x.norm_sq();
-            residue += r;
-            energy += e;
-            per_subcarrier.push((r, e));
-            points.push(q);
+            out.residue += r;
+            out.energy += e;
+            out.per_subcarrier[d] = (r, e);
+            out.points[d] = q;
         }
-        QuantizedSymbol { points, scale, residue, energy, per_subcarrier }
     }
 }
 

@@ -6,10 +6,9 @@ use crate::qam::QuantizedSymbol;
 use bluefi_coding::lfsr::Lfsr7;
 use bluefi_coding::realtime::RealtimePlan;
 use bluefi_coding::viterbi::{decode_punctured, reencode_flips};
-use bluefi_coding::{CodeRate, FreeEdge};
+use bluefi_coding::{CodeRate, FreeEdge, ViterbiScratch};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
-use bluefi_dsp::bits::bits_to_bytes_lsb;
 use bluefi_wifi::qam::demap_point;
 use bluefi_wifi::Interleaver;
 use bluefi_wifi::Mcs;
@@ -100,7 +99,7 @@ impl DecodeStrategy {
 }
 
 /// Result of the FEC reversal.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct Reversal {
     /// The scrambled data bits that the chip must be fed (before
     /// descrambling).
@@ -139,6 +138,37 @@ pub fn reverse_fec(
     }
 }
 
+/// Scratch-buffer variant of [`reverse_fec`]: decodes through `vit` and
+/// writes the result into `out`. The weighted-Viterbi path is
+/// allocation-free at steady state; the real-time path still allocates
+/// inside the cached plan's decode (it is already far cheaper than Viterbi).
+pub fn reverse_fec_with(
+    coded: &[bool],
+    weights: &[u32],
+    strategy: DecodeStrategy,
+    bt_subcarrier: f64,
+    vit: &mut ViterbiScratch,
+    out: &mut Reversal,
+) {
+    match strategy {
+        DecodeStrategy::WeightedViterbi => {
+            let rate = CodeRate::R56;
+            vit.decode_punctured_into(rate, coded, Some(weights), false, &mut out.scrambled);
+            vit.reencode_flips_into(rate, &out.scrambled, coded, &mut out.flips);
+        }
+        DecodeStrategy::Realtime => {
+            let edge = if bt_subcarrier >= 0.0 {
+                FreeEdge::Front
+            } else {
+                FreeEdge::Back
+            };
+            let r = realtime_plan(coded.len(), edge).decode(coded);
+            out.scrambled = r.decoded;
+            out.flips = r.flips;
+        }
+    }
+}
+
 /// Returns the cached elimination plan for a `(length, edge)` pair. The
 /// plan is target-independent (see [`RealtimePlan`]), so real-time packet
 /// generation pays the symbolic elimination once per packet geometry — this
@@ -168,6 +198,15 @@ fn realtime_plan(n_tx: usize, edge: FreeEdge) -> Arc<RealtimePlan> {
 ///
 /// Returns `(psdu_bytes, n_forced_bits)`.
 pub fn extract_psdu(scrambled: &mut [bool], seed: u8) -> (Vec<u8>, usize) {
+    let mut psdu = Vec::new();
+    let forced = extract_psdu_into(scrambled, seed, &mut psdu);
+    (psdu, forced)
+}
+
+/// Scratch-buffer variant of [`extract_psdu`]: packs the descrambled PSDU
+/// into `psdu` (resized to the byte count), allocating only when it must
+/// grow. Returns the number of forced bits.
+pub fn extract_psdu_into(scrambled: &mut [bool], seed: u8, psdu: &mut Vec<u8>) -> usize {
     let total = scrambled.len();
     assert!(total > 22, "need at least SERVICE + tail");
     let psdu_bits = (total - 16 - 6) / 8 * 8;
@@ -196,12 +235,42 @@ pub fn extract_psdu(scrambled: &mut [bool], seed: u8) -> (Vec<u8>, usize) {
         }
     }
 
-    // Descramble the PSDU region. Descrambling = XOR with the same
-    // sequence; regenerate it aligned to position 0.
+    // Descramble the PSDU region and pack LSB-first in one streaming pass.
+    // Descrambling = XOR with the same sequence; regenerate it aligned to
+    // position 0 and skip the SERVICE field's 16 bits.
     let mut lfsr = Lfsr7::new(seed);
-    let seq: Vec<bool> = (0..tail_start).map(|_| lfsr.next_bit()).collect();
-    let psdu_bits_v: Vec<bool> = (16..tail_start).map(|i| scrambled[i] ^ seq[i]).collect();
-    (bits_to_bytes_lsb(&psdu_bits_v), forced)
+    for _ in 0..16 {
+        lfsr.next_bit();
+    }
+    bluefi_dsp::contracts::ensure_len(psdu, psdu_bits / 8, 0u8);
+    for (byte_i, slot) in psdu.iter_mut().enumerate() {
+        let mut b = 0u8;
+        for bit in 0..8 {
+            if scrambled[16 + byte_i * 8 + bit] ^ lfsr.next_bit() {
+                b |= 1 << bit;
+            }
+        }
+        *slot = b;
+    }
+    if bluefi_dsp::contracts::enabled() && psdu_bits >= 8 {
+        // Stage contract: the streaming pack must agree with a re-derivation
+        // of the first byte (stack-only — the probe must stay quiet here).
+        let mut lfsr = Lfsr7::new(seed);
+        for _ in 0..16 {
+            lfsr.next_bit();
+        }
+        let mut reference = 0u8;
+        for bit in 0..8 {
+            if scrambled[16 + bit] ^ lfsr.next_bit() {
+                reference |= 1 << bit;
+            }
+        }
+        bluefi_dsp::contract!(
+            psdu[0] == reference,
+            "extract_psdu_into: streaming pack disagrees with reference"
+        );
+    }
+    forced
 }
 
 #[cfg(test)]

@@ -18,8 +18,8 @@
 use crate::pipeline::BlueFi;
 use crate::qam::Quantizer;
 use bluefi_bt::gfsk::{modulate_iq, modulate_phase};
-use bluefi_dsp::fft::bin_of_subcarrier;
-use bluefi_dsp::{Cx, FftPlan};
+use bluefi_dsp::fft::{bin_of_subcarrier, fft_plan};
+use bluefi_dsp::Cx;
 use bluefi_wifi::channels::ChannelPlan;
 use bluefi_wifi::ofdm::GuardInterval;
 use bluefi_wifi::pilots::ht_pilot_values;
@@ -110,7 +110,7 @@ pub fn waveform_at_stage(
         "waveform_at_stage: expected {} bodies of {FFT_SIZE} samples",
         theta_hat.len() / bf.cp.block_len()
     );
-    let plan64 = FftPlan::new(FFT_SIZE);
+    let plan64 = fft_plan(FFT_SIZE);
     let quantizer = Quantizer::new(mcs.modulation, bf.scale);
 
     if stage == Stage::Qam {

@@ -35,6 +35,59 @@ macro_rules! contract {
     };
 }
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
+// The allocation probe: every kernel that takes an allocating path (a
+// fresh `Vec`, or a scratch buffer forced to grow its capacity) reports it
+// here. The workspace forbids `unsafe`, so a `#[global_allocator]` hook is
+// off the table — instead the hot-path kernels self-report through
+// [`probe_alloc`] / [`ensure_len`], and `runtime_profile` reads the count
+// after a warm-up pass to prove the steady state allocates nothing.
+static ALLOC_PROBE: AtomicU64 = AtomicU64::new(0);
+
+/// Records one allocation event on the hot path. Free (and uncounted) when
+/// contracts are disabled or in release builds.
+#[inline]
+pub fn probe_alloc() {
+    if enabled() {
+        ALLOC_PROBE.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Resets the allocation probe to zero (e.g. after warm-up).
+pub fn probe_reset() {
+    ALLOC_PROBE.store(0, Ordering::Relaxed);
+}
+
+/// The number of hot-path allocation events recorded since the last
+/// [`probe_reset`]. Always zero when contracts are disabled.
+pub fn probe_count() -> u64 {
+    ALLOC_PROBE.load(Ordering::Relaxed)
+}
+
+/// Resizes a scratch buffer to exactly `n` elements (filling new slots
+/// with `fill`), reporting to the allocation probe only when the buffer
+/// must grow its capacity — the reuse path is probe-silent, so a warm
+/// scratch arena drives the probe count to zero.
+pub fn ensure_len<T: Clone>(buf: &mut Vec<T>, n: usize, fill: T) {
+    if buf.capacity() < n {
+        probe_alloc();
+    }
+    buf.clear();
+    buf.resize(n, fill);
+}
+
+/// Clears `buf` and reserves capacity for at least `n` elements, reporting
+/// to the allocation probe only when the buffer must grow. Use for
+/// append-style scratch (e.g. a waveform assembled symbol by symbol).
+pub fn ensure_capacity<T>(buf: &mut Vec<T>, n: usize) {
+    if buf.capacity() < n {
+        probe_alloc();
+    }
+    buf.clear();
+    buf.reserve(n);
+}
+
 /// Total energy `Σ|x|²` of a complex buffer.
 pub fn energy(data: &[Cx]) -> f64 {
     data.iter().map(|v| v.norm_sq()).sum()
@@ -147,6 +200,37 @@ mod tests {
     fn scaled_points_fail_unit_energy() {
         let pts = vec![cx(2.0, 0.0); 4];
         check_unit_mean_energy(&pts, 1e-12, "scaled");
+    }
+
+    #[test]
+    fn alloc_probe_counts_and_resets() {
+        // Other tests in this binary may hit the probe concurrently, so
+        // assert only monotone lower bounds, never exact totals.
+        let before = probe_count();
+        probe_alloc();
+        probe_alloc();
+        assert!(probe_count() >= before + 2, "probe failed to count");
+        probe_reset();
+        // After a reset the count restarts from (near) zero; a fresh grow
+        // must register again.
+        let mut buf: Vec<f64> = Vec::new();
+        let base = probe_count();
+        ensure_len(&mut buf, 64, 0.0);
+        assert_eq!(buf.len(), 64);
+        assert!(probe_count() >= base + 1, "growing a buffer must hit the probe");
+    }
+
+    #[test]
+    fn ensure_len_reuses_capacity() {
+        let mut buf: Vec<f64> = Vec::with_capacity(128);
+        ensure_len(&mut buf, 100, 1.5);
+        assert_eq!(buf.len(), 100);
+        assert!(buf.iter().all(|&v| (v - 1.5).abs() < 1e-15));
+        // Shrinking and re-filling must not reallocate.
+        let cap = buf.capacity();
+        ensure_len(&mut buf, 32, 2.5);
+        assert_eq!(buf.len(), 32);
+        assert_eq!(buf.capacity(), cap, "reuse path must keep the allocation");
     }
 
     #[test]

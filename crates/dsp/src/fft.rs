@@ -13,7 +13,9 @@
 
 use crate::complex::Cx;
 use crate::contracts;
+use std::collections::HashMap;
 use std::f64::consts::PI;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// A reusable FFT plan for a fixed power-of-two size.
 ///
@@ -127,17 +129,36 @@ impl FftPlan {
     }
 }
 
+/// Returns the shared, process-wide plan for power-of-two size `n`,
+/// building it on first request. Subsequent calls for the same size are a
+/// lock + hash lookup — no twiddle or bit-reversal recomputation — so hot
+/// paths can call this freely instead of [`FftPlan::new`].
+///
+/// # Panics
+/// Panics when `n` is zero or not a power of two (same contract as
+/// [`FftPlan::new`]).
+pub fn fft_plan(n: usize) -> Arc<FftPlan> {
+    static CACHE: OnceLock<Mutex<HashMap<usize, Arc<FftPlan>>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut map = cache.lock().unwrap_or_else(|p| p.into_inner());
+    Arc::clone(map.entry(n).or_insert_with(|| Arc::new(FftPlan::new(n))))
+}
+
 /// Convenience forward FFT returning a new vector (power-of-two length).
+/// Thin shim over the cached plan; prefer [`fft_plan`] + a reused buffer on
+/// hot paths.
 pub fn fft(input: &[Cx]) -> Vec<Cx> {
-    let plan = FftPlan::new(input.len());
+    let plan = fft_plan(input.len());
     let mut buf = input.to_vec();
     plan.forward(&mut buf);
     buf
 }
 
 /// Convenience inverse FFT returning a new vector (power-of-two length).
+/// Thin shim over the cached plan; prefer [`fft_plan`] + a reused buffer on
+/// hot paths.
 pub fn ifft(input: &[Cx]) -> Vec<Cx> {
-    let plan = FftPlan::new(input.len());
+    let plan = fft_plan(input.len());
     let mut buf = input.to_vec();
     plan.inverse(&mut buf);
     buf
@@ -156,14 +177,19 @@ pub fn dft(input: &[Cx]) -> Vec<Cx> {
 }
 
 /// Shifts the zero-frequency bin to the center of the spectrum
-/// (`fftshift`): bins `[0..N)` become `[-N/2..N/2)`.
+/// (`fftshift`): bins `[0..N)` become `[-N/2..N/2)`. One pre-sized buffer,
+/// rotated in place — no intermediate copies.
 pub fn fftshift(spec: &[Cx]) -> Vec<Cx> {
-    let n = spec.len();
-    let half = n.div_ceil(2);
-    let mut out = Vec::with_capacity(n);
-    out.extend_from_slice(&spec[half..]);
-    out.extend_from_slice(&spec[..half]);
+    let mut out = spec.to_vec();
+    fftshift_inplace(&mut out);
     out
+}
+
+/// In-place [`fftshift`]: rotates the buffer so the zero-frequency bin
+/// lands in the center, allocating nothing.
+pub fn fftshift_inplace(spec: &mut [Cx]) {
+    let half = spec.len().div_ceil(2);
+    spec.rotate_left(half);
 }
 
 /// Maps a centered subcarrier index `k ∈ [-N/2, N/2)` to the FFT bin index.
@@ -263,5 +289,45 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn non_power_of_two_panics() {
         FftPlan::new(12);
+    }
+
+    #[test]
+    fn plan_cache_returns_the_same_plan() {
+        let a = fft_plan(64);
+        let b = fft_plan(64);
+        assert!(Arc::ptr_eq(&a, &b), "cache must hand out one shared plan per size");
+        let c = fft_plan(128);
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(c.len(), 128);
+    }
+
+    #[test]
+    fn cached_plan_matches_fresh_plan() {
+        let x: Vec<Cx> = (0..64).map(|i| cx((i as f64 * 0.4).sin(), (i as f64 * 0.9).cos())).collect();
+        let mut via_cache = x.clone();
+        fft_plan(64).forward(&mut via_cache);
+        let mut via_new = x.clone();
+        FftPlan::new(64).forward(&mut via_new);
+        assert_close(&via_cache, &via_new, 1e-15);
+    }
+
+    #[test]
+    fn fftshift_inplace_matches_allocating_shift() {
+        for n in [1usize, 2, 7, 8, 64] {
+            let spec: Vec<Cx> = (0..n).map(|i| cx(i as f64, -(i as f64))).collect();
+            let shifted = fftshift(&spec);
+            let mut inplace = spec.clone();
+            fftshift_inplace(&mut inplace);
+            assert_eq!(shifted.len(), n);
+            assert_close(&shifted, &inplace, 1e-15);
+        }
+    }
+
+    #[test]
+    fn fftshift_odd_length_matches_numpy_convention() {
+        // numpy.fft.fftshift([0,1,2,3,4]) == [3,4,0,1,2].
+        let spec: Vec<Cx> = (0..5).map(|i| cx(i as f64, 0.0)).collect();
+        let re: Vec<f64> = fftshift(&spec).iter().map(|v| v.re).collect();
+        assert_eq!(re, vec![3.0, 4.0, 0.0, 1.0, 2.0]);
     }
 }

@@ -64,43 +64,57 @@ impl Fir {
 
     /// Filters a real signal; output has the same length as the input and is
     /// advanced by the group delay so filtered samples line up with the
-    /// originals (edges are zero-padded).
+    /// originals (edges are zero-padded). Thin shim over
+    /// [`Fir::filter_real_into`].
     pub fn filter_real(&self, x: &[f64]) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.filter_real_into(x, &mut out);
+        out
+    }
+
+    /// Scratch-buffer variant of [`Fir::filter_real`]: writes the filtered
+    /// signal into `out` (resized to `x.len()`), allocating only when `out`
+    /// must grow.
+    pub fn filter_real_into(&self, x: &[f64], out: &mut Vec<f64>) {
+        crate::contracts::ensure_len(out, x.len(), 0.0);
         let d = self.group_delay() as isize;
-        (0..x.len() as isize)
-            .map(|n| {
-                self.taps
-                    .iter()
-                    .enumerate()
-                    .map(|(k, &t)| {
-                        let idx = n + d - k as isize;
-                        if idx >= 0 && (idx as usize) < x.len() {
-                            t * x[idx as usize]
-                        } else {
-                            0.0
-                        }
-                    })
-                    .sum()
-            })
-            .collect()
+        for n in 0..x.len() as isize {
+            let mut acc = 0.0;
+            for (k, &t) in self.taps.iter().enumerate() {
+                let idx = n + d - k as isize;
+                if idx >= 0 && (idx as usize) < x.len() {
+                    acc += t * x[idx as usize];
+                }
+            }
+            out[n as usize] = acc;
+        }
     }
 
     /// Filters a complex signal (each component through the same taps),
-    /// compensated for group delay like [`Fir::filter_real`].
+    /// compensated for group delay like [`Fir::filter_real`]. Thin shim
+    /// over [`Fir::filter_cx_into`].
     pub fn filter_cx(&self, x: &[Cx]) -> Vec<Cx> {
+        let mut out = Vec::new();
+        self.filter_cx_into(x, &mut out);
+        out
+    }
+
+    /// Scratch-buffer variant of [`Fir::filter_cx`]: writes the filtered
+    /// signal into `out` (resized to `x.len()`), allocating only when `out`
+    /// must grow.
+    pub fn filter_cx_into(&self, x: &[Cx], out: &mut Vec<Cx>) {
+        crate::contracts::ensure_len(out, x.len(), Cx::ZERO);
         let d = self.group_delay() as isize;
-        (0..x.len() as isize)
-            .map(|n| {
-                let mut acc = Cx::ZERO;
-                for (k, &t) in self.taps.iter().enumerate() {
-                    let idx = n + d - k as isize;
-                    if idx >= 0 && (idx as usize) < x.len() {
-                        acc += x[idx as usize] * t;
-                    }
+        for n in 0..x.len() as isize {
+            let mut acc = Cx::ZERO;
+            for (k, &t) in self.taps.iter().enumerate() {
+                let idx = n + d - k as isize;
+                if idx >= 0 && (idx as usize) < x.len() {
+                    acc += x[idx as usize] * t;
                 }
-                acc
-            })
-            .collect()
+            }
+            out[n as usize] = acc;
+        }
     }
 
     /// Magnitude response at a normalized frequency `f` (cycles/sample).

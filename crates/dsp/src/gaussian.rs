@@ -47,8 +47,19 @@ pub fn gaussian_taps(bt: f64, sps: usize, span: usize) -> Vec<f64> {
 /// group delay is removed).
 pub fn shape_bits(bits: &[bool], bt: f64, sps: usize, span: usize) -> Vec<f64> {
     let taps = gaussian_taps(bt, sps, span);
+    let mut out = vec![0.0; bits.len() * sps];
+    shape_bits_to(bits, &taps, sps, 1.0, &mut out);
+    out
+}
+
+/// Scratch-buffer core of [`shape_bits`]: convolves with caller-provided
+/// `taps` (from [`gaussian_taps`]) and writes `scale`-multiplied samples into
+/// `out`, which must be exactly `bits.len() * sps` long. Lets hot paths reuse
+/// both the taps and the output buffer.
+pub fn shape_bits_to(bits: &[bool], taps: &[f64], sps: usize, scale: f64, out: &mut [f64]) {
     let delay = taps.len() / 2;
     let n = bits.len() * sps;
+    assert_eq!(out.len(), n, "output must hold bits.len()*sps samples");
     let nrz = |i: isize| -> f64 {
         if i < 0 || i as usize >= n {
             // Extend the edge bits rather than dropping to zero: real
@@ -66,14 +77,14 @@ pub fn shape_bits(bits: &[bool], bt: f64, sps: usize, span: usize) -> Vec<f64> {
             -1.0
         }
     };
-    (0..n)
-        .map(|out_i| {
-            taps.iter()
-                .enumerate()
-                .map(|(k, &t)| t * nrz(out_i as isize + delay as isize - k as isize))
-                .sum()
-        })
-        .collect()
+    for (out_i, slot) in out.iter_mut().enumerate() {
+        let s: f64 = taps
+            .iter()
+            .enumerate()
+            .map(|(k, &t)| t * nrz(out_i as isize + delay as isize - k as isize))
+            .sum();
+        *slot = s * scale;
+    }
 }
 
 #[cfg(test)]

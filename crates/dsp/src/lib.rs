@@ -21,5 +21,5 @@ pub mod phase;
 pub mod power;
 
 pub use complex::{cx, Cx};
-pub use fft::FftPlan;
+pub use fft::{fft_plan, FftPlan};
 pub use fir::Fir;

@@ -53,19 +53,28 @@ pub fn std_dev(x: &[f64]) -> f64 {
     (x.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / (x.len() - 1) as f64).sqrt()
 }
 
-/// Linear-interpolated percentile, `p` in `[0, 100]`.
+/// Linear-interpolated percentile, `p` in `[0, 100]`. Sorts a copy of the
+/// input; when reading several percentiles from one series, sort once and
+/// use [`percentile_sorted`] instead.
 pub fn percentile(x: &[f64], p: f64) -> f64 {
-    assert!((0.0..=100.0).contains(&p));
-    if x.is_empty() {
-        return 0.0;
-    }
     let mut v = x.to_vec();
     v.sort_by(|a, b| a.total_cmp(b));
-    let rank = p / 100.0 * (v.len() - 1) as f64;
+    percentile_sorted(&v, p)
+}
+
+/// Linear-interpolated percentile over an already-sorted series — the
+/// allocation-free core of [`percentile`]. The caller sorts once (by
+/// [`f64::total_cmp`]) and may then read any number of percentiles.
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    assert!((0.0..=100.0).contains(&p));
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
     let lo = rank.floor() as usize;
     let hi = rank.ceil() as usize;
     let frac = rank - lo as f64;
-    v[lo] * (1.0 - frac) + v[hi] * frac
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
 }
 
 /// Median (50th percentile).
@@ -117,6 +126,19 @@ mod tests {
         assert_eq!(percentile(&v, 0.0), 1.0);
         assert_eq!(percentile(&v, 100.0), 5.0);
         assert_eq!(percentile(&v, 25.0), 2.0);
+    }
+
+    #[test]
+    fn percentile_sorted_matches_percentile() {
+        // Unsorted input: `percentile` sorts a copy; `percentile_sorted`
+        // over a pre-sorted copy must agree at every probe point.
+        let v: [f64; 5] = [5.0, 1.0, 4.0, 2.0, 3.0];
+        let mut sorted = v.to_vec();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        for p in [0.0, 10.0, 25.0, 50.0, 90.0, 100.0] {
+            assert_eq!(percentile_sorted(&sorted, p), percentile(&v, p));
+        }
+        assert_eq!(percentile_sorted(&[], 50.0), 0.0);
     }
 
     #[test]

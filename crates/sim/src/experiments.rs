@@ -182,6 +182,25 @@ pub fn run_beacon_session(kind: &TxKind, cfg: &SessionConfig, seed: u64) -> Vec<
     out
 }
 
+/// One independent beacon-session trial for the parallel batch runner.
+#[derive(Debug, Clone)]
+pub struct SessionTrial {
+    /// Transmitter under test.
+    pub kind: TxKind,
+    /// Session parameters.
+    pub cfg: SessionConfig,
+    /// Seed for all session randomness.
+    pub seed: u64,
+}
+
+/// Runs independent beacon sessions in parallel (one worker per core, or
+/// `BLUEFI_THREADS`), results in trial order. Each trial carries its own
+/// seed, so the output is bit-identical to calling [`run_beacon_session`]
+/// sequentially per trial, for any worker count.
+pub fn run_beacon_sessions(trials: &[SessionTrial]) -> Vec<Vec<RssiSample>> {
+    bluefi_core::par::par_map(trials, |_, t| run_beacon_session(&t.kind, &t.cfg, t.seed))
+}
+
 /// Counts sync/decode outcomes over `n` packets — the session-level PER
 /// view (used by the background-traffic experiment and tests).
 #[derive(Debug, Clone, Copy, Default)]
@@ -291,6 +310,26 @@ mod tests {
         let cfg = quick_session(DeviceModel::s6(), 1.5);
         let trace = run_beacon_session(&kind, &cfg, 5);
         assert!(trace.len() >= 8, "only {} reports", trace.len());
+    }
+
+    #[test]
+    fn parallel_sessions_match_sequential() {
+        let trials: Vec<SessionTrial> = [(0.2, 5u64), (1.5, 6), (4.5, 7), (1.5, 8)]
+            .iter()
+            .map(|&(d, seed)| SessionTrial {
+                kind: TxKind::BlueFi { chip: ChipModel::ar9331(), tx_dbm: 18.0 },
+                cfg: quick_session(DeviceModel::pixel(), d),
+                seed,
+            })
+            .collect();
+        let par = run_beacon_sessions(&trials);
+        for (t, got) in trials.iter().zip(&par) {
+            let seq = run_beacon_session(&t.kind, &t.cfg, t.seed);
+            assert_eq!(seq.len(), got.len());
+            for (a, b) in seq.iter().zip(got) {
+                assert!(a.t_s == b.t_s && a.rssi_dbm == b.rssi_dbm);
+            }
+        }
     }
 
     #[test]

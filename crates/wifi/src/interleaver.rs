@@ -58,24 +58,40 @@ impl Interleaver {
         s * (i / s) + (i + ncbps - 13 * i / ncbps) % s
     }
 
-    /// Interleaves one symbol's worth of coded bits.
+    /// Interleaves one symbol's worth of coded bits. Thin shim over
+    /// [`Interleaver::interleave_into`].
     pub fn interleave(&self, block: &[bool]) -> Vec<bool> {
-        assert_eq!(block.len(), self.block_len());
-        let mut out = vec![false; block.len()];
-        for (k, &b) in block.iter().enumerate() {
-            out[self.permute(k)] = b;
-        }
+        let mut out = Vec::new();
+        self.interleave_into(block, &mut out);
         out
     }
 
-    /// Inverse of [`Interleaver::interleave`].
-    pub fn deinterleave(&self, block: &[bool]) -> Vec<bool> {
+    /// Scratch-buffer variant of [`Interleaver::interleave`]: permutes into
+    /// `out` (resized to the block length), allocating only when `out` must
+    /// grow.
+    pub fn interleave_into(&self, block: &[bool], out: &mut Vec<bool>) {
         assert_eq!(block.len(), self.block_len());
-        let mut out = vec![false; block.len()];
-        for k in 0..block.len() {
-            out[k] = block[self.permute(k)];
+        bluefi_dsp::contracts::ensure_len(out, block.len(), false);
+        for (k, &b) in block.iter().enumerate() {
+            out[self.permute(k)] = b;
         }
+    }
+
+    /// Inverse of [`Interleaver::interleave`]. Thin shim over
+    /// [`Interleaver::deinterleave_into`].
+    pub fn deinterleave(&self, block: &[bool]) -> Vec<bool> {
+        let mut out = Vec::new();
+        self.deinterleave_into(block, &mut out);
         out
+    }
+
+    /// Scratch-buffer variant of [`Interleaver::deinterleave`].
+    pub fn deinterleave_into(&self, block: &[bool], out: &mut Vec<bool>) {
+        assert_eq!(block.len(), self.block_len());
+        bluefi_dsp::contracts::ensure_len(out, block.len(), false);
+        for (k, slot) in out.iter_mut().enumerate() {
+            *slot = block[self.permute(k)];
+        }
     }
 
     /// Where coded bit `k` ends up: `(subcarrier, bit_within_subcarrier)`.

@@ -47,23 +47,41 @@ impl GuardInterval {
 /// subcarrier values given on centered indices −32..31.
 pub fn spectrum_from_subcarriers(values: &[(i32, Cx)]) -> Vec<Cx> {
     let mut spec = vec![Cx::ZERO; FFT_SIZE];
-    for &(k, v) in values {
-        spec[bin_of_subcarrier(k, FFT_SIZE)] = v;
-    }
+    spectrum_from_subcarriers_into(values, &mut spec);
     spec
 }
 
+/// In-place variant of [`spectrum_from_subcarriers`]: zeroes `spec` (which
+/// must already be 64 bins long) and writes the given subcarrier values.
+pub fn spectrum_from_subcarriers_into(values: &[(i32, Cx)], spec: &mut [Cx]) {
+    assert_eq!(spec.len(), FFT_SIZE);
+    spec.fill(Cx::ZERO);
+    for &(k, v) in values {
+        spec[bin_of_subcarrier(k, FFT_SIZE)] = v;
+    }
+}
+
 /// One OFDM symbol in the time domain: IFFT of `spectrum` (64 bins, FFT
-/// order) with the CP prepended. Returns `gi.symbol_len()` samples.
+/// order) with the CP prepended. Returns `gi.symbol_len()` samples. Thin
+/// shim over [`modulate_symbol_into`].
 pub fn modulate_symbol(plan: &FftPlan, spectrum: &[Cx], gi: GuardInterval) -> Vec<Cx> {
-    assert_eq!(spectrum.len(), FFT_SIZE);
-    let mut buf = spectrum.to_vec();
-    plan.inverse(&mut buf);
-    let cp = gi.len();
-    let mut out = Vec::with_capacity(cp + FFT_SIZE);
-    out.extend_from_slice(&buf[FFT_SIZE - cp..]);
-    out.extend_from_slice(&buf);
+    let mut out = Vec::new();
+    modulate_symbol_into(plan, spectrum, gi, &mut out);
     out
+}
+
+/// Scratch-buffer variant of [`modulate_symbol`]: assembles the symbol into
+/// `out` (resized to `gi.symbol_len()`), running the IFFT in place in the
+/// post-CP region — no intermediate buffer, allocating only when `out` must
+/// grow.
+pub fn modulate_symbol_into(plan: &FftPlan, spectrum: &[Cx], gi: GuardInterval, out: &mut Vec<Cx>) {
+    assert_eq!(spectrum.len(), FFT_SIZE);
+    let cp = gi.len();
+    bluefi_dsp::contracts::ensure_len(out, cp + FFT_SIZE, Cx::ZERO);
+    out[cp..].copy_from_slice(spectrum);
+    plan.inverse(&mut out[cp..]);
+    let (front, body) = out.split_at_mut(cp);
+    front.copy_from_slice(&body[FFT_SIZE - cp..]);
 }
 
 /// Stitches OFDM symbols into a waveform, optionally applying the
@@ -79,20 +97,39 @@ pub fn modulate_symbol(plan: &FftPlan, spectrum: &[Cx], gi: GuardInterval) -> Ve
 pub fn stitch_symbols(symbols: &[Vec<Cx>], gi: GuardInterval, windowing: bool) -> Vec<Cx> {
     let sym_len = gi.symbol_len();
     let mut out = Vec::with_capacity(symbols.len() * sym_len);
+    let mut prev_ext: Option<Cx> = None;
     for (s, sym) in symbols.iter().enumerate() {
         assert_eq!(sym.len(), sym_len, "symbol {s} has wrong length");
-        let start = out.len();
-        out.extend_from_slice(sym);
-        if windowing && s > 0 {
-            // The previous symbol's extension sample: its waveform continued
-            // one sample past the end equals the sample right after its CP
-            // (cyclic structure).
-            let prev = &symbols[s - 1];
-            let extension = prev[gi.len()];
+        append_symbol(&mut out, sym, gi, windowing, prev_ext);
+        prev_ext = Some(sym[gi.len()]);
+    }
+    out
+}
+
+/// Streaming form of [`stitch_symbols`]: appends one symbol to a growing
+/// waveform. `prev_extension` is the previous symbol's extension sample —
+/// its waveform continued one sample past the end, which by cyclic
+/// structure equals its sample right after the CP (`prev[gi.len()]`); pass
+/// `None` for the first symbol. The caller should reserve the full
+/// waveform's capacity up front to keep the append allocation-free.
+pub fn append_symbol(
+    out: &mut Vec<Cx>,
+    sym: &[Cx],
+    gi: GuardInterval,
+    windowing: bool,
+    prev_extension: Option<Cx>,
+) {
+    assert_eq!(sym.len(), gi.symbol_len(), "symbol has wrong length");
+    if out.capacity() < out.len() + sym.len() {
+        bluefi_dsp::contracts::probe_alloc();
+    }
+    let start = out.len();
+    out.extend_from_slice(sym);
+    if windowing {
+        if let Some(extension) = prev_extension {
             out[start] = (out[start] + extension).scale(0.5);
         }
     }
-    out
 }
 
 /// Demodulates one received OFDM symbol (CP stripped by the caller) back to

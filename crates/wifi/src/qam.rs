@@ -94,11 +94,14 @@ fn bits_to_level(bits: &[bool]) -> i32 {
     2 * v as i32 - ((1 << m) - 1)
 }
 
-/// Inverse of [`bits_to_level`].
-fn level_to_bits(level: i32, m: usize) -> Vec<bool> {
+/// Writes one axis level's `m` bits into `out` (b0 first; the inverse of
+/// [`bits_to_level`]), allocation-free.
+fn write_level_bits(level: i32, m: usize, out: &mut [bool]) {
     let v = ((level + ((1 << m) - 1)) / 2) as u32;
     let idx = gray_encode(v);
-    (0..m).rev().map(|i| (idx >> i) & 1 == 1).collect()
+    for (j, slot) in out.iter_mut().enumerate() {
+        *slot = (idx >> (m - 1 - j)) & 1 == 1;
+    }
 }
 
 /// Maps `bits_per_symbol` interleaved bits to a constellation point in
@@ -116,25 +119,52 @@ pub fn map_bits(modulation: Modulation, bits: &[bool]) -> Cx {
     };
     // Stage contract: mapping must invert exactly through the demapper for
     // every on-grid point, or the FEC-reversal bit accounting breaks.
-    bluefi_dsp::contract!(
-        demap_point(modulation, point) == bits,
-        "map_bits: {modulation:?} point {point:?} does not demap to its source bits"
-    );
+    // Demap onto the stack so the contract itself stays allocation-free
+    // (the probe must see a silent steady state).
+    if bluefi_dsp::contracts::enabled() {
+        let n = modulation.bits_per_symbol();
+        let mut rt = [false; 10];
+        demap_point_to(modulation, point, &mut rt[..n]);
+        bluefi_dsp::contract!(
+            rt[..n] == *bits,
+            "map_bits: {modulation:?} point {point:?} does not demap to its source bits"
+        );
+    }
     point
 }
 
 /// Demaps a constellation point (in unnormalized units) back to bits —
-/// exact for on-grid points, nearest-point otherwise.
+/// exact for on-grid points, nearest-point otherwise. Thin shim over
+/// [`demap_point_into`].
 pub fn demap_point(modulation: Modulation, point: Cx) -> Vec<bool> {
+    let mut out = Vec::new();
+    demap_point_into(modulation, point, &mut out);
+    out
+}
+
+/// Scratch-buffer variant of [`demap_point`]: writes the
+/// `bits_per_symbol()` demapped bits into `out` (resized to fit),
+/// allocating only when `out` must grow — the per-subcarrier workhorse of
+/// the FEC-reversal hot loop.
+pub fn demap_point_into(modulation: Modulation, point: Cx, out: &mut Vec<bool>) {
+    let n = modulation.bits_per_symbol();
+    bluefi_dsp::contracts::ensure_len(out, n, false);
+    demap_point_to(modulation, point, out);
+}
+
+/// Slice form of the demapper: `out` must be exactly `bits_per_symbol()`
+/// long. Allocation-free; used by the contract inside [`map_bits`].
+fn demap_point_to(modulation: Modulation, point: Cx, out: &mut [bool]) {
+    let n = modulation.bits_per_symbol();
+    assert_eq!(out.len(), n);
     match modulation {
-        Modulation::Bpsk => vec![point.re >= 0.0],
+        Modulation::Bpsk => out[0] = point.re >= 0.0,
         _ => {
-            let m = modulation.bits_per_symbol() / 2;
+            let m = n / 2;
             let i = quantize_axis(point.re, modulation);
             let q = quantize_axis(point.im, modulation);
-            let mut bits = level_to_bits(i, m);
-            bits.extend(level_to_bits(q, m));
-            bits
+            write_level_bits(i, m, &mut out[..m]);
+            write_level_bits(q, m, &mut out[m..]);
         }
     }
 }
@@ -187,6 +217,12 @@ pub fn quantize_point(v: Cx, modulation: Modulation) -> Cx {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn level_to_bits(level: i32, m: usize) -> Vec<bool> {
+        let mut out = vec![false; m];
+        write_level_bits(level, m, &mut out);
+        out
+    }
 
     #[test]
     fn qam64_table_matches_standard() {

@@ -20,8 +20,8 @@ use bluefi_coding::lfsr::{recover_seed, scramble};
 use bluefi_coding::puncture::CodeRate;
 use bluefi_coding::viterbi::decode_punctured;
 use bluefi_dsp::bits::bits_to_bytes_lsb;
-use bluefi_dsp::fft::bin_of_subcarrier;
-use bluefi_dsp::{Cx, FftPlan};
+use bluefi_dsp::fft::{bin_of_subcarrier, fft_plan};
+use bluefi_dsp::Cx;
 
 /// Result of decoding a data field.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -67,7 +67,7 @@ pub fn decode_data_field(iq: &[Cx], mcs: Mcs, gi: GuardInterval) -> Result<RxFra
         return Err(RxError::TooShort);
     }
     let n_sym = iq.len() / sym_len;
-    let plan = FftPlan::new(FFT_SIZE);
+    let plan = fft_plan(FFT_SIZE);
     let il = Interleaver::new(mcs.modulation);
     let nbpsc = mcs.modulation.bits_per_symbol();
 
@@ -80,12 +80,16 @@ pub fn decode_data_field(iq: &[Cx], mcs: Mcs, gi: GuardInterval) -> Result<RxFra
     let agc = (nominal / measured.max(1e-30)).sqrt();
 
     // Per symbol: strip CP, FFT, demap data subcarriers, deinterleave.
+    // Both working buffers are hoisted and reused across symbols.
     let mut coded = Vec::with_capacity(n_sym * il.block_len());
+    let mut buf: Vec<Cx> = Vec::with_capacity(FFT_SIZE);
+    let mut interleaved = Vec::with_capacity(il.block_len());
     for s in 0..n_sym {
         let body = &iq[s * sym_len + gi.len()..s * sym_len + sym_len];
-        let mut buf: Vec<Cx> = body.iter().map(|v| v.scale(agc)).collect();
+        buf.clear();
+        buf.extend(body.iter().map(|v| v.scale(agc)));
         plan.forward(&mut buf);
-        let mut interleaved = Vec::with_capacity(il.block_len());
+        interleaved.clear();
         for &sc in data_subcarriers().iter() {
             let x = buf[bin_of_subcarrier(sc, FFT_SIZE)];
             interleaved.extend(demap_point(mcs.modulation, x));

@@ -1,7 +1,8 @@
 //! The workspace lint gate: `cargo test -q` fails if any `bluefi-analyze`
 //! rule fires anywhere in the tree. This is the enforcement point for the
-//! no-panic / no-unsafe / hermetic-manifest / doc-comment / no-float-eq
-//! policies (the human-readable report is `cargo run -p bluefi-analyze`).
+//! no-panic / no-unsafe / hermetic-manifest / doc-comment / no-float-eq /
+//! no-hot-loop-alloc policies (the human-readable report is
+//! `cargo run -p bluefi-analyze`).
 //!
 //! Supersedes the old `tests/hermetic.rs`, whose manifest checks now live
 //! in `bluefi_analyze::manifests` as rule R3.
@@ -37,4 +38,21 @@ fn gate_actually_scanned_the_tree() {
         "only {} manifests scanned",
         report.manifests_scanned
     );
+}
+
+#[test]
+fn gate_enforces_the_hot_loop_rule() {
+    // R6 must be wired into the workspace scan (not just unit-tested): a
+    // known-bad snippet under a hot-path virtual path must fire, and the
+    // summary line must carry an R6 bucket.
+    let diags = bluefi_analyze::scan_source(
+        "crates/dsp/src/gate_probe.rs",
+        "fn f(items: &[f64]) {\n    for x in items {\n        let v = vec![0.0; 4];\n    }\n}\n",
+    );
+    assert!(
+        diags.iter().any(|d| d.rule == bluefi_analyze::Rule::HotLoopAlloc),
+        "{diags:#?}"
+    );
+    let report = bluefi_analyze::Report::default();
+    assert!(report.summary().contains("R6=0"), "{}", report.summary());
 }
