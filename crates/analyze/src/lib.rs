@@ -23,6 +23,10 @@
 //!   `vec![` inside `for`/`while` bodies in the hot-path crates
 //!   (`dsp`/`wifi`/`coding`) — use a plan cache or a reused scratch buffer;
 //!   escape hatch `// lint: allow(r6) <reason>`.
+//! * **R7 no-adhoc-print** — no `println!` / `eprintln!` / `print!` /
+//!   `eprint!` in library crates (`dsp`/`coding`/`wifi`/`bt`/`core`/`sim`/
+//!   `apps`) — route output through the telemetry recorder or a
+//!   `core::telemetry::Table`; escape hatch `// lint: allow(print) <reason>`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -50,20 +54,23 @@ pub enum Rule {
     NoFloatEq,
     /// R6 — no per-iteration allocation in hot-path loops.
     HotLoopAlloc,
+    /// R7 — no ad-hoc `println!`-family output in library crates.
+    AdhocPrint,
 }
 
 impl Rule {
     /// All rules in reporting order.
-    pub const ALL: [Rule; 6] = [
+    pub const ALL: [Rule; 7] = [
         Rule::NoPanics,
         Rule::NoUnsafe,
         Rule::HermeticManifests,
         Rule::DocComments,
         Rule::NoFloatEq,
         Rule::HotLoopAlloc,
+        Rule::AdhocPrint,
     ];
 
-    /// Short code, `R1`..`R6`.
+    /// Short code, `R1`..`R7`.
     pub fn code(self) -> &'static str {
         match self {
             Rule::NoPanics => "R1",
@@ -72,6 +79,7 @@ impl Rule {
             Rule::DocComments => "R4",
             Rule::NoFloatEq => "R5",
             Rule::HotLoopAlloc => "R6",
+            Rule::AdhocPrint => "R7",
         }
     }
 
@@ -84,6 +92,7 @@ impl Rule {
             Rule::DocComments => "doc-comments",
             Rule::NoFloatEq => "no-float-eq",
             Rule::HotLoopAlloc => "no-hot-loop-alloc",
+            Rule::AdhocPrint => "no-adhoc-print",
         }
     }
 }
@@ -135,6 +144,9 @@ pub struct Scope {
     pub no_float_eq: bool,
     /// R6 applies (hot-path kernel crates: `dsp`/`wifi`/`coding`).
     pub hot_loop_alloc: bool,
+    /// R7 applies (library crates whose output belongs in telemetry:
+    /// `dsp`/`coding`/`wifi`/`bt`/`core`/`sim`/`apps`; binaries exempt).
+    pub adhoc_print: bool,
 }
 
 /// Decides rule scope from a workspace-relative path like
@@ -157,6 +169,8 @@ pub fn scope_for(rel_path: &str) -> Scope {
         doc_comments: !is_binary && matches!(krate, "dsp" | "wifi" | "core"),
         no_float_eq: !is_binary && matches!(krate, "dsp" | "wifi" | "bt" | "core"),
         hot_loop_alloc: !is_binary && matches!(krate, "dsp" | "wifi" | "coding"),
+        adhoc_print: !is_binary
+            && matches!(krate, "dsp" | "coding" | "wifi" | "bt" | "core" | "sim" | "apps"),
     }
 }
 
@@ -180,6 +194,9 @@ pub fn scan_source(rel_path: &str, text: &str) -> Vec<Diagnostic> {
     if scope.hot_loop_alloc {
         out.extend(rules::r6_no_hot_loop_alloc(&file));
     }
+    if scope.adhoc_print {
+        out.extend(rules::r7_no_adhoc_print(&file));
+    }
     out
 }
 
@@ -201,8 +218,8 @@ impl Report {
     }
 
     /// Findings per rule, in [`Rule::ALL`] order.
-    pub fn counts(&self) -> [usize; 6] {
-        let mut counts = [0usize; 6];
+    pub fn counts(&self) -> [usize; 7] {
+        let mut counts = [0usize; 7];
         for d in &self.diagnostics {
             let idx = Rule::ALL.iter().position(|r| *r == d.rule).unwrap_or(0);
             counts[idx] += 1;
@@ -211,7 +228,7 @@ impl Report {
     }
 
     /// One-line machine-readable summary, e.g.
-    /// `R1=0 R2=0 R3=0 R4=0 R5=0 R6=0 total=0 files=58 manifests=10 status=clean`.
+    /// `R1=0 R2=0 R3=0 R4=0 R5=0 R6=0 R7=0 total=0 files=58 manifests=10 status=clean`.
     pub fn summary(&self) -> String {
         let counts = self.counts();
         let per_rule: Vec<String> = Rule::ALL
@@ -352,9 +369,14 @@ mod tests {
         assert!(!s.hot_loop_alloc && s.no_float_eq);
         let s = scope_for("crates/sim/src/mac.rs");
         assert!(s.no_panics && s.no_unsafe && !s.doc_comments && !s.no_float_eq);
-        assert!(!s.hot_loop_alloc);
+        assert!(!s.hot_loop_alloc && s.adhoc_print);
         let s = scope_for("crates/bench/src/bin/fig5_distance.rs");
         assert!(!s.no_panics && s.no_unsafe && !s.doc_comments && !s.hot_loop_alloc);
+        assert!(!s.adhoc_print, "binaries may print");
+        let s = scope_for("crates/bench/src/lib.rs");
+        assert!(!s.adhoc_print, "the bench reporter prints by design");
+        let s = scope_for("crates/apps/src/audio.rs");
+        assert!(s.adhoc_print);
         let s = scope_for("tests/e2e_audio.rs");
         assert!(!s.no_panics && !s.no_unsafe);
     }
@@ -364,7 +386,7 @@ mod tests {
         let mut r = Report { files_scanned: 3, manifests_scanned: 2, ..Default::default() };
         assert_eq!(
             r.summary(),
-            "R1=0 R2=0 R3=0 R4=0 R5=0 R6=0 total=0 files=3 manifests=2 status=clean"
+            "R1=0 R2=0 R3=0 R4=0 R5=0 R6=0 R7=0 total=0 files=3 manifests=2 status=clean"
         );
         r.diagnostics.push(Diagnostic::new(Rule::NoPanics, "x.rs", 1, "m".into()));
         assert!(r.summary().contains("R1=1") && r.summary().ends_with("status=dirty"));

@@ -1,4 +1,4 @@
-//! The source-level lint rules (R1, R2, R4, R5, R6).
+//! The source-level lint rules (R1, R2, R4, R5, R6, R7).
 //!
 //! Each rule walks the [`SourceFile`] line model and emits `file:line`
 //! diagnostics. Scope (which crates/files a rule applies to) is decided by
@@ -16,6 +16,8 @@ pub const ALLOW_UNSAFE: &str = "unsafe";
 pub const ALLOW_FLOAT_EQ: &str = "float-eq";
 /// Hatch name for R6.
 pub const ALLOW_HOT_LOOP_ALLOC: &str = "r6";
+/// Hatch name for R7.
+pub const ALLOW_PRINT: &str = "print";
 
 /// Files allowed to contain `unsafe` (R2 allowlist). Empty: the workspace
 /// is `unsafe`-free and every crate carries `#![forbid(unsafe_code)]`.
@@ -314,6 +316,40 @@ pub fn r6_no_hot_loop_alloc(file: &SourceFile) -> Vec<Diagnostic> {
     out
 }
 
+/// R7 — ad-hoc `println!`-family output in library crates.
+///
+/// Library code must not write to stdout/stderr directly: results flow
+/// through return values, and observability flows through the telemetry
+/// recorder (`core::telemetry`) — counters, spans, and `Table` snapshots
+/// that binaries render or export as JSON. Flags `println!`, `eprintln!`,
+/// `print!` and `eprint!` outside `#[cfg(test)]`; binaries
+/// (`src/bin/`, `main.rs`) are out of scope, and the escape hatch is
+/// `// lint: allow(print) <reason>`.
+pub fn r7_no_adhoc_print(file: &SourceFile) -> Vec<Diagnostic> {
+    const NEEDLES: [&str; 4] = ["println!", "eprintln!", "print!", "eprint!"];
+    let mut out = Vec::new();
+    for (i, line) in file.lines.iter().enumerate() {
+        if line.in_test || allowed(line, ALLOW_PRINT) {
+            continue;
+        }
+        for needle in NEEDLES {
+            if let Some(found) = find_needle(&line.code, needle) {
+                out.push(Diagnostic::new(
+                    Rule::AdhocPrint,
+                    &file.rel_path,
+                    i + 1,
+                    format!(
+                        "`{found}` in library code — record telemetry / return a \
+                         `Table` and let the caller render it, or add \
+                         `// lint: allow(print) <reason>`"
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
 /// Position of a standalone `for` / `while` keyword, if any.
 fn loop_keyword_pos(code: &str) -> Option<usize> {
     for kw in ["for", "while"] {
@@ -404,6 +440,25 @@ mod tests {
         let src = "for x in items {\n    f(x);\n}\nlet v = vec![0; 8];\n\
                    fn formless() { let w = vec![1]; }";
         assert!(scan(r6_no_hot_loop_alloc, src).is_empty());
+    }
+
+    #[test]
+    fn r7_flags_each_print_macro_once() {
+        // One finding per line; `eprintln!` must not double-count as
+        // `print!`/`eprint!`/`println!`, and suffix-matching identifiers
+        // (`my_println!`) never hit.
+        let src = "println!(\"x\");\neprintln!(\"y\");\nprint!(\"z\");\neprint!(\"w\");";
+        let d = scan(r7_no_adhoc_print, src);
+        assert_eq!(d.len(), 4, "{d:#?}");
+        assert!(scan(r7_no_adhoc_print, "my_println!(\"x\");").is_empty());
+        assert!(scan(r7_no_adhoc_print, "writeln!(f, \"x\");").is_empty());
+    }
+
+    #[test]
+    fn r7_respects_hatch_and_test_code() {
+        let src = "println!(\"boot\"); // lint: allow(print) startup banner\n\
+                   #[cfg(test)]\nmod tests {\n    fn t() { println!(\"dbg\"); }\n}";
+        assert!(scan(r7_no_adhoc_print, src).is_empty());
     }
 
     #[test]

@@ -1,0 +1,33 @@
+//! R7 fixture: ad-hoc prints in library code. Never compiled — scanned
+//! under a virtual `crates/core/src/` path by `tests/rules.rs`.
+
+/// Four flagged prints, one per macro.
+pub fn noisy(x: u32) -> u32 {
+    println!("computing {x}"); // flagged: stdout from a library
+    eprintln!("warn: {x}"); // flagged: stderr from a library
+    print!("partial"); // flagged
+    eprint!("partial err"); // flagged
+    x + 1
+}
+
+/// The escape hatch silences a deliberate print.
+pub fn hatched() {
+    println!("boot banner"); // lint: allow(print) one-time startup banner
+}
+
+/// Non-calls and buffered writes stay silent.
+pub fn quiet(log: &mut String) {
+    // A string literal mentioning println! is not a call.
+    log.push_str("use println! sparingly");
+    let mut s = String::new();
+    use std::fmt::Write as _;
+    let _ = writeln!(s, "buffered output is fine");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn debug_prints_are_fine_in_tests() {
+        println!("test diagnostics stay visible");
+    }
+}

@@ -98,6 +98,29 @@ fn r6_fires_on_hot_loop_allocations() {
 }
 
 #[test]
+fn r7_fires_on_adhoc_prints_in_library_code() {
+    let src = include_str!("fixtures/r7_print.rs");
+    let diags = scan_source("crates/core/src/r7_print.rs", src);
+    let r7 = lines_of(&diags, Rule::AdhocPrint);
+    // println!, eprintln!, print!, eprint! in `noisy`; the hatched banner,
+    // the string literal, the writeln! into a buffer, and the #[cfg(test)]
+    // print all stay silent.
+    assert_eq!(r7, vec![6, 7, 8, 9], "{diags:#?}");
+    assert!(diags
+        .iter()
+        .find(|d| d.rule == Rule::AdhocPrint)
+        .unwrap()
+        .to_string()
+        .starts_with("crates/core/src/r7_print.rs:6: [R7 no-adhoc-print]"));
+    // Binaries render the tables — out of scope there, and in bench's lib
+    // (the Reporter prints by design).
+    let diags = scan_source("crates/bench/src/bin/r7_print.rs", src);
+    assert!(lines_of(&diags, Rule::AdhocPrint).is_empty());
+    let diags = scan_source("crates/bench/src/r7_print.rs", src);
+    assert!(lines_of(&diags, Rule::AdhocPrint).is_empty());
+}
+
+#[test]
 fn scope_disables_rules_outside_signal_crates() {
     // The same R5 fixture scanned as a sim-crate file: R5 is out of scope
     // there, so only rules that apply everywhere could fire (none do).

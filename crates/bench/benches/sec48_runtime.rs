@@ -12,7 +12,7 @@
 
 use std::hint::black_box;
 
-use bluefi_bench::{bench_fn, print_table, BenchResult};
+use bluefi_bench::{bench_fn, BenchResult, Reporter};
 use bluefi_bt::ble::{adv_air_bits, AdvPdu, AdvPduType};
 use bluefi_bt::gfsk::{modulate_phase, GfskParams};
 use bluefi_coding::lfsr::scramble;
@@ -111,10 +111,11 @@ fn main() {
             ]
         })
         .collect();
-    print_table(
+    let mut rep = Reporter::from_args();
+    rep.table(
         "Sec 4.8 — per-stage runtime (ms/iter)",
         &["stage", "median", "mean", "samples"],
-        &rows,
+        rows,
     );
 
     // The paper's headline ratio: the real-time decoder is far cheaper
@@ -123,6 +124,9 @@ fn main() {
         results.iter().find(|r| r.name == name).map(|r| r.median_ms()).unwrap_or(f64::NAN)
     };
     let speedup = med("stage3_fec_weighted_viterbi") / med("stage3_fec_realtime");
-    println!("\nFEC reversal speedup (weighted Viterbi / real-time): {speedup:.1}x");
-    println!("paper: ~50x decoder speedup; FEC dominates every pipeline.");
+    rep.note(format!(
+        "\nFEC reversal speedup (weighted Viterbi / real-time): {speedup:.1}x"
+    ));
+    rep.note("paper: ~50x decoder speedup; FEC dominates every pipeline.");
+    rep.finish();
 }

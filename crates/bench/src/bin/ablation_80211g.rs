@@ -4,7 +4,7 @@
 //!
 //! Run: `cargo run --release -p bluefi-bench --bin ablation_80211g`
 
-use bluefi_bench::print_table;
+use bluefi_bench::Reporter;
 use bluefi_bt::ble::{adv_air_bits, AdvPdu, AdvPduType};
 use bluefi_bt::receiver::{GfskReceiver, ReceiverConfig};
 use bluefi_core::cp::CpCompat;
@@ -54,12 +54,16 @@ fn main() {
             format!("{:.2}%", 100.0 * errs as f64 / total as f64),
         ]);
     }
-    print_table(
+    let mut rep = Reporter::from_args();
+    rep.table(
         "Ablation — guard interval length (CP-stage loopback BER, 6 payloads)",
         &["mode", "bit errors", "BER"],
-        &rows,
+        rows,
     );
-    println!("\npaper Sec 2.1.2/5.1: SGI halves the CP corruption; with the long \
-              guard interval (802.11a/g) \"the signal can be picked up … but the \
-              performance is spotty\", so 802.11g support was dropped.");
+    rep.note(
+        "\npaper Sec 2.1.2/5.1: SGI halves the CP corruption; with the long \
+         guard interval (802.11a/g) \"the signal can be picked up … but the \
+         performance is spotty\", so 802.11g support was dropped.",
+    );
+    rep.finish();
 }

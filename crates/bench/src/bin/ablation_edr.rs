@@ -5,7 +5,7 @@
 //!
 //! Run: `cargo run --release -p bluefi-bench --bin ablation_edr`
 
-use bluefi_bench::print_table;
+use bluefi_bench::Reporter;
 use bluefi_bt::edr::{edr_demodulate, edr_modulate_phase, EdrScheme};
 use bluefi_core::par::par_map;
 use bluefi_bt::gfsk::{modulate_phase, GfskParams};
@@ -101,12 +101,16 @@ fn main() {
             format!("{:.2}%", 100.0 * best as f64 / bits.len() as f64),
         ]
     }));
-    print_table(
+    let mut rep = Reporter::from_args();
+    rep.table(
         "Extension — EDR modulation over BlueFi (loopback payload BER)",
         &["scheme", "bit errors", "BER"],
-        &rows,
+        rows,
     );
-    println!("\npaper Sec 5.3: \"Some Bluetooth chips are capable of supporting \
-              optional modulation modes other than GFSK, and thus increase \
-              throughput by up to 3x\" — left as future work there, working here.");
+    rep.note(
+        "\npaper Sec 5.3: \"Some Bluetooth chips are capable of supporting \
+         optional modulation modes other than GFSK, and thus increase \
+         throughput by up to 3x\" — left as future work there, working here.",
+    );
+    rep.finish();
 }

@@ -3,7 +3,7 @@
 //!
 //! Run: `cargo run --release -p bluefi-bench --bin ablation_qam_order`
 
-use bluefi_bench::print_table;
+use bluefi_bench::Reporter;
 use bluefi_bt::gfsk::{modulate_phase, GfskParams};
 use bluefi_core::cp::CpCompat;
 use bluefi_core::par::par_map;
@@ -27,11 +27,15 @@ fn main() {
             par_map(&bodies, |_, b| q.quantize_body(b).in_band_error_db(13.0, 4.0));
         rows.push(vec![format!("{m:?}"), format!("{:6.1} dB", bluefi_dsp::power::mean(&errs))]);
     }
-    print_table(
+    let mut rep = Reporter::from_args();
+    rep.table(
         "Ablation — in-band quantization error vs modulation order",
         &["modulation", "mean in-band error"],
-        &rows,
+        rows,
     );
-    println!("\npaper Sec 5.1: higher-order modulation means less quantization \
-              error; 1024-QAM is mandatory in 802.11ax.");
+    rep.note(
+        "\npaper Sec 5.1: higher-order modulation means less quantization \
+         error; 1024-QAM is mandatory in 802.11ax.",
+    );
+    rep.finish();
 }

@@ -3,7 +3,7 @@
 //!
 //! Run: `cargo run --release -p bluefi-bench --bin ablation_scale_factor`
 
-use bluefi_bench::print_table;
+use bluefi_bench::Reporter;
 use bluefi_bt::gfsk::{modulate_phase, GfskParams};
 use bluefi_core::cp::CpCompat;
 use bluefi_core::qam::{Quantizer, ScaleMode, DEFAULT_SCALE};
@@ -36,11 +36,15 @@ fn main() {
             format!("{:.2?}", dt),
         ]);
     }
-    print_table(
+    let mut rep = Reporter::from_args();
+    rep.table(
         "Ablation — fixed vs dynamic QAM scale factor",
         &["mode", "mean in-band error", "time"],
-        &rows,
+        rows,
     );
-    println!("\npaper: \"the performance difference is negligible but the \
-              complexity is significantly higher\".");
+    rep.note(
+        "\npaper: \"the performance difference is negligible but the \
+         complexity is significantly higher\".",
+    );
+    rep.finish();
 }

@@ -5,7 +5,7 @@
 //!
 //! Run: `cargo run --release -p bluefi-bench --bin ablation_windowing`
 
-use bluefi_bench::print_table;
+use bluefi_bench::Reporter;
 use bluefi_bt::ble::{adv_air_bits, AdvPdu, AdvPduType};
 use bluefi_core::cp::CpCompat;
 use bluefi_core::par::SynthesisBatch;
@@ -64,14 +64,18 @@ fn main() {
             format!("{:.2}%", 100.0 * errs as f64 / total as f64),
         ]);
     }
-    print_table(
+    let mut rep = Reporter::from_args();
+    rep.table(
         "Ablation — CP pocket construction and carrier snapping (loopback BER, 8 payloads)",
         &["variant", "bit errors", "BER"],
-        &rows,
+        rows,
     );
-    println!("\nfindings: the paper's split construction beats midpoint pockets \
-              (short full-offset glitches cancel inside the channel filter better \
-              than long half-offset ones), and integer-subcarrier snapping \
-              (≤62.5 kHz, inside the ±75 kHz Bluetooth carrier tolerance) \
-              removes the carrier-phase component of the pocket offset.");
+    rep.note(
+        "\nfindings: the paper's split construction beats midpoint pockets \
+         (short full-offset glitches cancel inside the channel filter better \
+         than long half-offset ones), and integer-subcarrier snapping \
+         (≤62.5 kHz, inside the ±75 kHz Bluetooth carrier tolerance) \
+         removes the carrier-phase component of the pocket offset.",
+    );
+    rep.finish();
 }

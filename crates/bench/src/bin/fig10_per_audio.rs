@@ -5,7 +5,7 @@
 //!       [--packets 25] [--distance 1.5]`
 
 use bluefi_apps::audio::{ranked_channels, sniff_channel, AudioConfig};
-use bluefi_bench::{arg_f64, arg_usize, print_table};
+use bluefi_bench::{arg_f64, arg_usize, Reporter};
 use bluefi_bt::br::PacketType;
 use bluefi_core::par::par_map;
 
@@ -32,10 +32,11 @@ fn main() {
             format!("{:.1}%", counts.per() * 100.0),
         ]);
     }
-    print_table(
+    let mut rep = Reporter::from_args();
+    rep.table(
         "Fig 10 — 5-slot (DM5) audio-packet PER on the 3 best channels",
         &["bt ch", "no error", "crc err", "hdr err", "PER"],
-        &rows,
+        rows,
     );
     // Throughput: audio slots = DH5 every 6 slots when the hop matches one
     // of 3 channels out of ~17 -> effective packets/s; goodput applies PER.
@@ -45,11 +46,12 @@ fn main() {
     let payload_bits = (PacketType::Dm5.max_payload() * 8) as f64;
     let throughput = packets_per_s * payload_bits;
     let goodput = throughput * total_ok as f64 / total.max(1) as f64;
-    println!(
+    rep.note(format!(
         "\nupper-layer estimate: throughput {:.1} kbps, goodput {:.1} kbps, overall PER {:.1}%",
         throughput / 1e3,
         goodput / 1e3,
         (1.0 - total_ok as f64 / total.max(1) as f64) * 100.0
-    );
-    println!("paper: overall PER 23%, throughput 122.5 kbps, goodput 93.4 kbps.");
+    ));
+    rep.note("paper: overall PER 23%, throughput 122.5 kbps, goodput 93.4 kbps.");
+    rep.finish();
 }

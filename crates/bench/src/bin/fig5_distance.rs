@@ -5,7 +5,7 @@
 //! Run: `cargo run --release -p bluefi-bench --bin fig5_distance
 //!       [--duration 120] [--rate 1]`
 
-use bluefi_bench::{arg_f64, print_table, summarize};
+use bluefi_bench::{arg_f64, summarize, Reporter};
 use bluefi_sim::devices::DeviceModel;
 use bluefi_sim::experiments::{run_beacon_sessions, SessionConfig, SessionTrial, TxKind};
 use bluefi_wifi::ChipModel;
@@ -13,6 +13,7 @@ use bluefi_wifi::ChipModel;
 fn main() {
     let duration = arg_f64("--duration", 120.0);
     let rate = arg_f64("--rate", 1.0);
+    let mut rep = Reporter::from_args();
     for chip in [ChipModel::ar9331(), ChipModel::rtl8811au()] {
         // All 9 device x distance sessions are independent: batch them.
         let mut trials = Vec::new();
@@ -41,12 +42,15 @@ fn main() {
                 format!("{last_t:.0} s"),
             ]);
         }
-        print_table(
+        rep.table(
             &format!("Fig 5 ({}) — RSSI dBm: mean/median [p10..p90], trace end", chip.name),
             &["device", "distance", "rssi", "trace ends"],
-            &rows,
+            rows,
         );
     }
-    println!("\npaper shape: consistent reception at all distances; S6 6-10 dB \
-              below peers; iPhone traces end ~110 s; RTL8811AU noisier than AR9331.");
+    rep.note(
+        "\npaper shape: consistent reception at all distances; S6 6-10 dB \
+         below peers; iPhone traces end ~110 s; RTL8811AU noisier than AR9331.",
+    );
+    rep.finish();
 }

@@ -2,7 +2,7 @@
 //!
 //! Run: `cargo run --release -p bluefi-bench --bin fig6_txpower [--duration 30]`
 
-use bluefi_bench::{arg_f64, print_table, summarize};
+use bluefi_bench::{arg_f64, summarize, Reporter};
 use bluefi_sim::devices::DeviceModel;
 use bluefi_sim::experiments::{run_beacon_sessions, SessionConfig, SessionTrial, TxKind};
 use bluefi_wifi::ChipModel;
@@ -10,6 +10,7 @@ use bluefi_wifi::ChipModel;
 fn main() {
     let duration = arg_f64("--duration", 30.0);
     let powers = [0.0, 4.0, 5.0, 7.0, 8.0, 10.0, 12.0, 14.0, 16.0, 18.0, 20.0];
+    let mut rep = Reporter::from_args();
     for device in DeviceModel::all_phones() {
         // One independent session per power level — batch the sweep.
         let trials: Vec<SessionTrial> = powers
@@ -32,12 +33,15 @@ fn main() {
                 vec![format!("{p:>2.0} dBm"), summarize(&rssi)]
             })
             .collect();
-        print_table(
+        rep.table(
             &format!("Fig 6 ({}) — RSSI vs TX power at 1.5 m", device.name),
             &["tx power", "rssi dBm"],
-            &rows,
+            rows,
         );
     }
-    println!("\npaper shape: RSSI tracks TX power ~dB-for-dB on Pixel; still \
-              well above -90 dBm at 0 dBm TX; iPhone fluctuates; S6 offset low.");
+    rep.note(
+        "\npaper shape: RSSI tracks TX power ~dB-for-dB on Pixel; still \
+         well above -90 dBm at 0 dBm TX; iPhone fluctuates; S6 offset low.",
+    );
+    rep.finish();
 }

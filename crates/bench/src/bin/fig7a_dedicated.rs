@@ -3,7 +3,7 @@
 //!
 //! Run: `cargo run --release -p bluefi-bench --bin fig7a_dedicated [--duration 30]`
 
-use bluefi_bench::{arg_f64, print_table, summarize};
+use bluefi_bench::{arg_f64, summarize, Reporter};
 use bluefi_sim::devices::{BtTransmitter, DeviceModel};
 use bluefi_sim::experiments::{run_beacon_sessions, SessionConfig, SessionTrial, TxKind};
 use bluefi_wifi::ChipModel;
@@ -48,11 +48,15 @@ fn main() {
             vec![label, summarize(&rssi)]
         })
         .collect();
-    print_table(
+    let mut rep = Reporter::from_args();
+    rep.table(
         "Fig 7a — dedicated Bluetooth hardware (high TX power, 1.5 m)",
         &["link", "rssi dBm"],
-        &rows,
+        rows,
     );
-    println!("\npaper shape: BlueFi at 8 dBm comparable to dedicated BT chips; \
-              at the default 18 dBm BlueFi is expected to do better.");
+    rep.note(
+        "\npaper shape: BlueFi at 8 dBm comparable to dedicated BT chips; \
+         at the default 18 dBm BlueFi is expected to do better.",
+    );
+    rep.finish();
 }

@@ -3,7 +3,7 @@
 //!
 //! Run: `cargo run --release -p bluefi-bench --bin fig7b_throughput [--duration 120]`
 
-use bluefi_bench::{arg_usize, print_table};
+use bluefi_bench::{arg_usize, Reporter};
 use bluefi_dsp::power::{percentile, std_dev};
 use bluefi_sim::mac::fig7b_scenarios;
 use bluefi_core::rng::{SeedableRng, StdRng};
@@ -27,10 +27,12 @@ fn main() {
             ]
         })
         .collect();
-    print_table(
+    let mut rep = Reporter::from_args();
+    rep.table(
         "Fig 7b — throughput with concurrent Bluetooth activity (Mbps)",
         &["scenario", "mean", "median", "p10..p90", "sd"],
-        &rows,
+        rows,
     );
-    println!("\npaper: baseline 48.8, BlueFi 47.8 (~1 Mbps cost), Pixel 48.6, S6 48.4.");
+    rep.note("\npaper: baseline 48.8, BlueFi 47.8 (~1 Mbps cost), Pixel 48.6, S6 48.4.");
+    rep.finish();
 }

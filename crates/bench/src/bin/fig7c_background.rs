@@ -3,7 +3,7 @@
 //!
 //! Run: `cargo run --release -p bluefi-bench --bin fig7c_background [--duration 120]`
 
-use bluefi_bench::{arg_f64, print_table, summarize};
+use bluefi_bench::{arg_f64, summarize, Reporter};
 use bluefi_sim::devices::DeviceModel;
 use bluefi_sim::experiments::{run_beacon_sessions, SessionConfig, SessionTrial, TxKind};
 use bluefi_wifi::ChipModel;
@@ -34,11 +34,15 @@ fn main() {
             vec![device.name.to_string(), summarize(&rssi), format!("{}", trace.len())]
         })
         .collect();
-    print_table(
+    let mut rep = Reporter::from_args();
+    rep.table(
         "Fig 7c — RSSI under saturated background WiFi traffic",
         &["device", "rssi dBm", "reports"],
-        &rows,
+        rows,
     );
-    println!("\npaper shape: all phones keep receiving; only small RSSI \
-              fluctuation; iPhone trace still truncates near 110 s.");
+    rep.note(
+        "\npaper shape: all phones keep receiving; only small RSSI \
+         fluctuation; iPhone trace still truncates near 110 s.",
+    );
+    rep.finish();
 }

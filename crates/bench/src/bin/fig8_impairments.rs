@@ -4,13 +4,14 @@
 //!
 //! Run: `cargo run --release -p bluefi-bench --bin fig8_impairments [--duration 20]`
 
-use bluefi_bench::{arg_f64, print_table, summarize};
+use bluefi_bench::{arg_f64, summarize, Reporter};
 use bluefi_core::stages::Stage;
 use bluefi_sim::devices::DeviceModel;
 use bluefi_sim::experiments::{run_beacon_sessions, SessionConfig, SessionTrial, TxKind};
 
 fn main() {
     let duration = arg_f64("--duration", 20.0);
+    let mut rep = Reporter::from_args();
     for device in DeviceModel::all_phones() {
         // One independent USRP session per stage — batched; the baseline
         // delta is computed after the fan-in (stage order is preserved).
@@ -38,12 +39,15 @@ fn main() {
                 format!("{delta:+.1}"),
             ]);
         }
-        print_table(
+        rep.table(
             &format!("Fig 8 ({}) — cumulative impairments at equal TX power", device.name),
             &["stage", "rssi dBm", "Δ vs baseline"],
-            &rows,
+            rows,
         );
     }
-    println!("\npaper shape: ~1 dB degradation per stage, ~2 dB overall; +FEC \
-              and +Header may slightly improve over the previous stage.");
+    rep.note(
+        "\npaper shape: ~1 dB degradation per stage, ~2 dB overall; +FEC \
+         and +Header may slightly improve over the previous stage.",
+    );
+    rep.finish();
 }

@@ -6,7 +6,7 @@
 //!       [--packets 60] [--distance 1.5]`
 
 use bluefi_apps::audio::{sniff_channel, AudioConfig};
-use bluefi_bench::{arg_f64, arg_usize, print_table};
+use bluefi_bench::{arg_f64, arg_usize, Reporter};
 use bluefi_bt::br::PacketType;
 use bluefi_core::par::par_map;
 use bluefi_wifi::channels::{bt_channel_freq_hz, subcarrier_in_channel, distance_to_pilot_or_null};
@@ -37,13 +37,19 @@ fn main() {
             format!("{:.1}%", counts.per() * 100.0),
         ]
     });
-    print_table(
+    let mut rep = Reporter::from_args();
+    rep.table(
         "Fig 9 — single-slot PER by Bluetooth channel (WiFi channel 3)",
         &["bt ch", "subcarrier", "pilot clearance", "no error", "crc err", "hdr err", "PER"],
-        &rows,
+        rows,
     );
-    println!("\npaper shape: PER as low as 1.9% on clear channels; much higher \
-              adjacent to the pilots (±7, ±21) and the DC null.");
-    println!("note: DM1 (FEC-protected single-slot) packets — the simulated \
-              receiver's residual BER maps DM packets onto the paper's PER range.");
+    rep.note(
+        "\npaper shape: PER as low as 1.9% on clear channels; much higher \
+         adjacent to the pilots (±7, ±21) and the DC null.",
+    );
+    rep.note(
+        "note: DM1 (FEC-protected single-slot) packets — the simulated \
+         receiver's residual BER maps DM packets onto the paper's PER range.",
+    );
+    rep.finish();
 }

@@ -1,19 +1,26 @@
 //! Runtime profile of the synthesis hot path (paper Sec 4.8): single-packet
-//! latency through a warm scratch, steady-state allocations per packet (via
-//! the self-reporting probe in `bluefi_dsp::contracts` — debug/contracts
-//! builds only), and batch throughput/speedup at 1/2/4/N workers on the
-//! Fig 9 workload (one DM1-sized beacon per Bluetooth channel sweep).
+//! latency through a warm scratch, a per-stage timing breakdown from the
+//! telemetry recorder, steady-state allocations per packet with telemetry
+//! both enabled and disabled (via the self-reporting probe in
+//! `bluefi_dsp::contracts` — debug/contracts builds only), and batch
+//! throughput at a host-clamped worker ladder on the Fig 9 workload.
+//!
+//! Telemetry runs at the `spans` level unless `BLUEFI_TELEMETRY` overrides
+//! it; the worker ladder is clamped to the host CPU count unless
+//! `BLUEFI_THREADS` overrides (oversubscribed rows only measure scheduler
+//! churn).
 //!
 //! Writes a machine-readable report next to the repo root by default.
 //!
-//! Run: `cargo run --release -p bluefi-bench --bin runtime_profile
-//!       [--trials 100] [--out BENCH_runtime.json]`
+//! Run: `BLUEFI_TELEMETRY=spans cargo run --release -p bluefi-bench
+//!       --bin runtime_profile [--trials 100] [--out BENCH_runtime.json]`
 
-use bluefi_bench::{arg_str, arg_usize, print_table};
+use bluefi_bench::{arg_str, arg_usize, Reporter};
 use bluefi_bt::ble::{adv_air_bits, AdvPdu, AdvPduType};
 use bluefi_core::json::Json;
-use bluefi_core::par::{worker_count, BatchJob, SynthesisBatch};
+use bluefi_core::par::{clamped_workers, host_cpus, worker_count, BatchJob, SynthesisBatch};
 use bluefi_core::pipeline::{BlueFi, SynthesisScratch};
+use bluefi_core::telemetry::{self, Level, SpanKind};
 use bluefi_dsp::contracts;
 use bluefi_dsp::power::{mean, percentile_sorted};
 use bluefi_wifi::channels::{bt_channel_freq_hz, plan_channel, usable_bt_channels_in_wifi};
@@ -29,9 +36,33 @@ fn beacon_bits(variant: u8) -> Vec<bool> {
     adv_air_bits(&pdu, 38)
 }
 
+/// Steady-state allocations per packet at the current telemetry level.
+fn steady_allocs_per_packet(
+    bf: &BlueFi,
+    bits: &[bool],
+    plan: bluefi_wifi::channels::ChannelPlan,
+    trials: usize,
+) -> (f64, u64) {
+    let mut cold = SynthesisScratch::new();
+    contracts::probe_reset();
+    bf.synthesize_at_with(bits, plan, 71, &mut cold);
+    let warmup = contracts::probe_count();
+    bf.synthesize_at_with(bits, plan, 71, &mut cold); // settle capacities
+    contracts::probe_reset();
+    for _ in 0..trials {
+        bf.synthesize_at_with(bits, plan, 71, &mut cold);
+    }
+    (contracts::probe_count() as f64 / trials as f64, warmup)
+}
+
 fn main() {
     let trials = arg_usize("--trials", 100).max(1);
     let out_path = arg_str("--out", "BENCH_runtime.json");
+    let mut rep = Reporter::from_args();
+    // The profile defaults to full span recording (this binary exists to
+    // look inside the pipeline); BLUEFI_TELEMETRY still overrides.
+    let level = telemetry::env_level().unwrap_or(Level::Spans);
+    telemetry::set_level(level);
     let bf = BlueFi::default();
     // lint: allow(panic) channel 38 = 2426 MHz is plannable by construction
     let plan = plan_channel(2.426e9).expect("advertising channel must be plannable");
@@ -40,6 +71,7 @@ fn main() {
     // -- Single-packet latency through a warm scratch ---------------------
     let mut scratch = SynthesisScratch::new();
     bf.synthesize_at_with(&bits, plan, 71, &mut scratch); // warm-up
+    telemetry::reset(); // per-stage stats cover only the timed trials
     let lat_us: Vec<f64> = (0..trials)
         .map(|_| {
             let t0 = Instant::now();
@@ -48,24 +80,58 @@ fn main() {
         })
         .collect();
 
+    // -- Per-stage breakdown from the telemetry recorder ------------------
+    let snap = telemetry::snapshot();
+    let total_ns: u64 = snap
+        .span_stat(SpanKind::Synthesize)
+        .map(|s| s.hist.sum)
+        .unwrap_or(0);
+    let mut stage_rows = Vec::new();
+    let mut per_stage_json = Vec::new();
+    let mut phases: Vec<SpanKind> = SpanKind::pipeline_phases().to_vec();
+    phases.push(SpanKind::Synthesize);
+    for kind in phases {
+        let Some(stat) = snap.span_stat(kind) else { continue };
+        let h = &stat.hist;
+        let us = |v: Option<u64>| v.map(|n| n as f64 / 1e3).unwrap_or(0.0);
+        let share = if total_ns > 0 { 100.0 * h.sum as f64 / total_ns as f64 } else { 0.0 };
+        stage_rows.push(vec![
+            kind.name().to_string(),
+            format!("{}", h.count),
+            format!("{:.1}", h.mean().map(|m| m / 1e3).unwrap_or(0.0)),
+            format!("{:.1}", us(h.percentile(50.0))),
+            format!("{:.1}", us(h.percentile(90.0))),
+            format!("{:.3}", h.sum as f64 / 1e6),
+            format!("{share:.1}%"),
+        ]);
+        per_stage_json.push((
+            kind.name(),
+            Json::obj(vec![
+                ("count", Json::Num(h.count as f64)),
+                ("mean_us", Json::Num(h.mean().map(|m| m / 1e3).unwrap_or(0.0))),
+                ("p50_us", Json::Num(us(h.percentile(50.0)))),
+                ("p90_us", Json::Num(us(h.percentile(90.0)))),
+                ("total_ms", Json::Num(h.sum as f64 / 1e6)),
+                ("share_pct", Json::Num(share)),
+            ]),
+        ));
+    }
+
     // -- Steady-state allocations per packet ------------------------------
     // The probe only counts in contracts+debug builds; release builds
-    // report the probe as unmeasured rather than a misleading zero.
+    // report the probe as unmeasured rather than a misleading zero. The
+    // zero-alloc claim must hold with telemetry recording AND without.
     let measured = contracts::enabled();
-    contracts::probe_reset();
-    let mut cold = SynthesisScratch::new();
-    bf.synthesize_at_with(&bits, plan, 71, &mut cold);
-    let warmup_allocs = contracts::probe_count();
-    bf.synthesize_at_with(&bits, plan, 71, &mut cold); // settle capacities
-    contracts::probe_reset();
-    for _ in 0..trials {
-        bf.synthesize_at_with(&bits, plan, 71, &mut cold);
-    }
-    let steady_allocs = contracts::probe_count() as f64 / trials as f64;
+    let (steady_enabled, warmup_allocs) = steady_allocs_per_packet(&bf, &bits, plan, trials);
+    telemetry::set_level(Level::Off);
+    let (steady_disabled, _) = steady_allocs_per_packet(&bf, &bits, plan, trials);
+    telemetry::set_level(level);
 
     // -- Batch throughput on the Fig 9 workload ---------------------------
     // One beacon per usable even-indexed Bluetooth channel, repeated until
-    // the batch is large enough to time.
+    // the batch is large enough to time. The ladder is clamped to the host
+    // CPU count (BLUEFI_THREADS overrides): oversubscribed rows measured
+    // scheduler churn, not the engine (the old 0.92x "speedups").
     let channels: Vec<u8> = usable_bt_channels_in_wifi(3).into_iter().step_by(2).take(10).collect();
     let n_jobs = (trials * 2).max(8);
     let jobs: Vec<BatchJob> = (0..n_jobs)
@@ -76,9 +142,16 @@ fn main() {
             BatchJob { bits: beacon_bits((k % 251) as u8), plan, seed: 71 }
         })
         .collect();
-    let mut thread_counts = vec![1usize, 2, 4, worker_count()];
+    let requested = vec![1usize, 2, 4, worker_count()];
+    let mut thread_counts: Vec<usize> = requested.iter().map(|&w| clamped_workers(w)).collect();
     thread_counts.sort_unstable();
     thread_counts.dedup();
+    let clamped = {
+        let mut r = requested.clone();
+        r.sort_unstable();
+        r.dedup();
+        r != thread_counts
+    };
     let mut batch_rows = Vec::new();
     let mut batch_json = Vec::new();
     let mut t1_s = 0.0f64;
@@ -116,10 +189,10 @@ fn main() {
     // Sort the latency series once; all percentiles read from it.
     let mut lat_sorted = lat_us.clone();
     lat_sorted.sort_by(|a, b| a.total_cmp(b));
-    print_table(
+    rep.table(
         "Runtime profile — single-packet synthesis latency (warm scratch)",
         &["mean µs", "median µs", "p10 µs", "p90 µs", "trials"],
-        &[vec![
+        vec![vec![
             format!("{:.1}", mean(&lat_us)),
             format!("{:.1}", percentile_sorted(&lat_sorted, 50.0)),
             format!("{:.1}", percentile_sorted(&lat_sorted, 10.0)),
@@ -127,32 +200,53 @@ fn main() {
             format!("{trials}"),
         ]],
     );
-    if measured {
-        println!(
-            "\nallocations/packet: {steady_allocs:.2} steady-state \
-             ({warmup_allocs} during warm-up) over {trials} packets"
+    if !stage_rows.is_empty() {
+        rep.table(
+            &format!("Runtime profile — per-stage breakdown (telemetry level: {})", level.name()),
+            &["stage", "count", "mean µs", "p50 µs", "p90 µs", "total ms", "share"],
+            stage_rows,
         );
     } else {
-        println!(
+        rep.note(format!(
+            "\nper-stage breakdown unavailable (telemetry level: {}; set \
+             BLUEFI_TELEMETRY=counters or spans)",
+            level.name()
+        ));
+    }
+    if measured {
+        rep.note(format!(
+            "\nallocations/packet: {steady_enabled:.2} steady-state with telemetry {}, \
+             {steady_disabled:.2} with telemetry off ({warmup_allocs} during warm-up) \
+             over {trials} packets",
+            level.name()
+        ));
+    } else {
+        rep.note(
             "\nallocations/packet: not measured (probe requires a debug build \
-             with the `contracts` feature; run without --release)"
+             with the `contracts` feature; run without --release)",
         );
     }
-    print_table(
+    rep.table(
         &format!("Runtime profile — batch throughput, {n_jobs} packets (Fig 9 workload)"),
         &["workers", "seconds", "packets/s", "speedup"],
-        &batch_rows,
+        batch_rows,
     );
-    println!(
+    rep.note(format!(
         "\nparallel output bit-exact with sequential: {}",
         if bit_exact { "yes" } else { "NO — determinism violated" }
-    );
-    let cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    ));
+    let cpus = host_cpus();
+    if clamped {
+        rep.note(format!(
+            "note: worker ladder clamped to the {cpus}-CPU host (set \
+             BLUEFI_THREADS to force oversubscription)"
+        ));
+    }
     if cpus < 2 {
-        println!(
+        rep.note(format!(
             "note: this host exposes {cpus} CPU — thread speedup is bounded \
              at 1x here; rerun on a multi-core host for the scaling numbers"
-        );
+        ));
     }
 
     let report = Json::obj(vec![
@@ -169,11 +263,39 @@ fn main() {
             ]),
         ),
         (
+            "per_stage",
+            Json::Obj(
+                per_stage_json
+                    .into_iter()
+                    .map(|(k, v)| (k.to_string(), v))
+                    .collect(),
+            ),
+        ),
+        (
             "allocs_per_packet",
             Json::obj(vec![
                 ("measured", Json::Bool(measured)),
-                ("steady_state", Json::Num(steady_allocs)),
+                ("steady_state", Json::Num(steady_enabled)),
                 ("warmup", Json::Num(warmup_allocs as f64)),
+            ]),
+        ),
+        (
+            "telemetry",
+            Json::obj(vec![
+                ("level", Json::Str(level.name().to_string())),
+                ("allocs_per_packet_enabled", Json::Num(steady_enabled)),
+                ("allocs_per_packet_disabled", Json::Num(steady_disabled)),
+                ("span_events_captured", Json::Num(snap.events.len() as f64)),
+                ("dropped_events", Json::Num(snap.dropped_events as f64)),
+                ("counters", {
+                    let pairs: Vec<(String, Json)> = snap
+                        .counters
+                        .iter()
+                        .filter(|(_, v)| *v > 0)
+                        .map(|&(n, v)| (n.to_string(), Json::Num(v as f64)))
+                        .collect();
+                    Json::Obj(pairs)
+                }),
             ]),
         ),
         (
@@ -187,5 +309,6 @@ fn main() {
     ]);
     // lint: allow(panic) a report the caller asked for must be writable
     std::fs::write(&out_path, report.render() + "\n").expect("write runtime report");
-    println!("wrote {out_path}");
+    rep.note(format!("wrote {out_path}"));
+    rep.finish();
 }

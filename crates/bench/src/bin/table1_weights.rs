@@ -3,7 +3,7 @@
 //!
 //! Run: `cargo run --release -p bluefi-bench --bin table1_weights`
 
-use bluefi_bench::print_table;
+use bluefi_bench::Reporter;
 use bluefi_core::reversal::WeightProfile;
 use bluefi_wifi::{Interleaver, Modulation};
 
@@ -22,11 +22,13 @@ fn main() {
             ]
         })
         .collect();
-    print_table(
+    let mut rep = Reporter::from_args();
+    rep.table(
         "Table 1 — weight assignment for the modified Viterbi (BT on subcarriers 9..16)",
         &["coded bit", "mapped location", "weight"],
-        &rows,
+        rows,
     );
-    println!("\npaper: bit0 -> sc -28 b5 w1 ... bit8 -> sc 8 b4 w100, bit9 -> sc 12 b5 w1000,");
-    println!("       bit10 -> sc 16 b3 w1000, bit11 -> sc 20 b4 w100, bit12 -> sc 25 b5 w1.");
+    rep.note("\npaper: bit0 -> sc -28 b5 w1 ... bit8 -> sc 8 b4 w100, bit9 -> sc 12 b5 w1000,");
+    rep.note("       bit10 -> sc 16 b3 w1000, bit11 -> sc 20 b4 w100, bit12 -> sc 25 b5 w1.");
+    rep.finish();
 }

@@ -9,30 +9,79 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use bluefi_core::json::{Json, ToJson};
+use bluefi_core::telemetry::{self, Level, Table};
 use bluefi_dsp::power::{mean, median, percentile_sorted};
 
-/// Prints a simple aligned table.
-pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
-    println!("\n== {title} ==");
-    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
-    for r in rows {
-        for (i, c) in r.iter().enumerate() {
-            if i < widths.len() {
-                widths[i] = widths[i].max(c.len());
-            }
-        }
+/// The structured output sink every bench binary reports through.
+///
+/// In text mode (the default) tables and notes stream to stdout as they
+/// are added, exactly like the old ad-hoc `println!` helpers. With
+/// `--json` (see [`Reporter::from_args`]) nothing prints until
+/// [`Reporter::finish`], which emits one machine-readable JSON document:
+/// `{"tables": [...], "notes": [...]}` plus a `"telemetry"` snapshot when
+/// `BLUEFI_TELEMETRY` recording is on.
+#[derive(Debug)]
+pub struct Reporter {
+    json: bool,
+    tables: Vec<Table>,
+    notes: Vec<String>,
+}
+
+impl Reporter {
+    /// A reporter in JSON mode iff the process was invoked with `--json`.
+    pub fn from_args() -> Reporter {
+        Reporter::new(arg_flag("--json"))
     }
-    let fmt_row = |cells: &[String]| {
-        cells
-            .iter()
-            .enumerate()
-            .map(|(i, c)| format!("{:w$}", c, w = widths.get(i).copied().unwrap_or(8)))
-            .collect::<Vec<_>>()
-            .join("  ")
-    };
-    println!("{}", fmt_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>()));
-    for r in rows {
-        println!("{}", fmt_row(r));
+
+    /// A reporter with the output mode pinned.
+    pub fn new(json: bool) -> Reporter {
+        Reporter { json, tables: Vec::new(), notes: Vec::new() }
+    }
+
+    /// True when this reporter emits JSON instead of text.
+    pub fn is_json(&self) -> bool {
+        self.json
+    }
+
+    /// Adds (and, in text mode, prints) one aligned table.
+    pub fn table(&mut self, title: &str, header: &[&str], rows: Vec<Vec<String>>) {
+        let mut t = Table::new(title, header);
+        for r in rows {
+            t.row(r);
+        }
+        if !self.json {
+            print!("{}", t.render());
+        }
+        self.tables.push(t);
+    }
+
+    /// Adds (and, in text mode, prints) one free-form note line.
+    pub fn note(&mut self, text: impl Into<String>) {
+        let text = text.into();
+        if !self.json {
+            println!("{text}");
+        }
+        self.notes.push(text);
+    }
+
+    /// Flushes the report: a no-op in text mode (everything already
+    /// streamed), the single JSON document in `--json` mode.
+    pub fn finish(self) {
+        if !self.json {
+            return;
+        }
+        let mut fields = vec![
+            ("tables", Json::Arr(self.tables.iter().map(ToJson::to_json).collect())),
+            (
+                "notes",
+                Json::Arr(self.notes.iter().map(|n| Json::Str(n.clone())).collect()),
+            ),
+        ];
+        if telemetry::level() > Level::Off {
+            fields.push(("telemetry", telemetry::snapshot().to_json()));
+        }
+        println!("{}", Json::obj(fields).render());
     }
 }
 
@@ -72,6 +121,12 @@ pub fn arg_usize(name: &str, default: usize) -> usize {
 /// String variant of [`arg_f64`].
 pub fn arg_str(name: &str, default: &str) -> String {
     arg_value(name).unwrap_or_else(|| default.to_string())
+}
+
+/// True when the process was invoked with the bare flag `name`
+/// (e.g. `--json`).
+pub fn arg_flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
 }
 
 fn arg_value(name: &str) -> Option<String> {
@@ -140,6 +195,18 @@ pub fn bench_fn<T>(name: &str, samples: usize, mut f: impl FnMut() -> T) -> Benc
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn reporter_collects_tables_and_notes() {
+        let mut rep = Reporter::new(true);
+        rep.table("demo", &["k", "v"], vec![vec!["a".into(), "1".into()]]);
+        rep.note("paper: shape matches");
+        assert!(rep.is_json());
+        assert_eq!(rep.tables.len(), 1);
+        assert_eq!(rep.tables[0].rows.len(), 1);
+        assert_eq!(rep.notes, vec!["paper: shape matches".to_string()]);
+        rep.finish();
+    }
 
     #[test]
     fn summarize_formats() {

@@ -1,23 +1,33 @@
-//! Smoke test: the runtime profile binary runs, emits schema-valid JSON,
-//! and — since tests build with debug assertions and the default
-//! `contracts` feature — proves the zero-allocation steady state and the
-//! parallel/sequential bit-exactness on a tiny workload.
+//! Smoke test: the runtime profile binary runs, emits schema-valid JSON —
+//! including the per-stage telemetry breakdown — and, since tests build
+//! with debug assertions and the default `contracts` feature, proves the
+//! zero-allocation steady state (telemetry recording on *and* off) and
+//! the parallel/sequential bit-exactness on a tiny workload.
 
 use bluefi_core::json::Json;
 use std::process::Command;
 
-#[test]
-fn runtime_profile_emits_valid_report() {
-    let out_path = std::env::temp_dir().join("bluefi_runtime_profile_smoke.json");
+/// The pipeline phases the breakdown must report, in order.
+const PHASES: [&str; 5] =
+    ["gfsk_modulate", "cp_compat", "qam_quantize_demap", "fec_reversal", "descramble_extract"];
+
+fn run_profile(out_name: &str, level: &str) -> Json {
+    let out_path = std::env::temp_dir().join(out_name);
     let status = Command::new(env!("CARGO_BIN_EXE_runtime_profile"))
         .args(["--trials", "2", "--out"])
         .arg(&out_path)
+        .env("BLUEFI_TELEMETRY", level)
         .status()
         .expect("runtime_profile must launch");
     assert!(status.success(), "runtime_profile exited with {status}");
-
     let text = std::fs::read_to_string(&out_path).expect("report file must exist");
-    let report = Json::parse(&text).expect("report must be valid JSON");
+    let _ = std::fs::remove_file(&out_path);
+    Json::parse(&text).expect("report must be valid JSON")
+}
+
+#[test]
+fn runtime_profile_emits_valid_report() {
+    let report = run_profile("bluefi_runtime_profile_smoke.json", "spans");
 
     // Top-level schema.
     assert_eq!(report.get("trials").and_then(Json::as_f64), Some(2.0));
@@ -52,5 +62,56 @@ fn runtime_profile_emits_valid_report() {
         assert!(pps.is_finite() && pps > 0.0);
     }
 
-    let _ = std::fs::remove_file(&out_path);
+    // Per-stage breakdown: every pipeline phase plus the end-to-end total,
+    // each covering exactly the timed trials, with a sane share of wall
+    // time; the phase totals cannot exceed the end-to-end total.
+    let per_stage = report.get("per_stage").expect("per_stage section");
+    let total_ms = per_stage
+        .get("synthesize")
+        .and_then(|s| s.get("total_ms"))
+        .and_then(Json::as_f64)
+        .expect("synthesize total");
+    for stage in PHASES.iter().chain(["synthesize"].iter()) {
+        let s = per_stage.get(stage).unwrap_or_else(|| panic!("missing stage {stage}"));
+        assert_eq!(s.get("count").and_then(Json::as_f64), Some(2.0), "{stage}");
+        for key in ["mean_us", "p50_us", "p90_us", "total_ms", "share_pct"] {
+            let v = s.get(key).and_then(Json::as_f64).expect(key);
+            assert!(v.is_finite() && v >= 0.0, "{stage}.{key} = {v}");
+        }
+        let share = s.get("share_pct").and_then(Json::as_f64).expect("share");
+        assert!(share <= 100.0 + 1e-9, "{stage} share {share}");
+        assert!(
+            s.get("total_ms").and_then(Json::as_f64).expect("total") <= total_ms + 1e-9,
+            "{stage} exceeds the end-to-end total"
+        );
+    }
+
+    // Telemetry section: recording was live and allocation-free both ways.
+    let tel = report.get("telemetry").expect("telemetry section");
+    assert_eq!(tel.get("level").and_then(Json::as_str), Some("spans"));
+    assert_eq!(tel.get("allocs_per_packet_enabled").and_then(Json::as_f64), Some(0.0));
+    assert_eq!(tel.get("allocs_per_packet_disabled").and_then(Json::as_f64), Some(0.0));
+    assert!(tel.get("span_events_captured").and_then(Json::as_f64).unwrap_or(0.0) > 0.0);
+    let counters = tel.get("counters").expect("counters object");
+    assert_eq!(counters.get("packets_synthesized").and_then(Json::as_f64), Some(2.0));
+}
+
+#[test]
+fn runtime_profile_with_telemetry_off_reports_zero_telemetry_allocs() {
+    let report = run_profile("bluefi_runtime_profile_smoke_off.json", "off");
+    // A disabled recorder leaves no per-stage data behind...
+    let per_stage = report.get("per_stage").expect("per_stage section");
+    for stage in PHASES {
+        assert!(per_stage.get(stage).is_none(), "{stage} recorded while off");
+    }
+    // ...and the telemetry section still proves the zero-allocation claim
+    // for the disabled configuration.
+    let tel = report.get("telemetry").expect("telemetry section");
+    assert_eq!(tel.get("level").and_then(Json::as_str), Some("off"));
+    assert_eq!(tel.get("allocs_per_packet_enabled").and_then(Json::as_f64), Some(0.0));
+    assert_eq!(tel.get("allocs_per_packet_disabled").and_then(Json::as_f64), Some(0.0));
+    assert_eq!(tel.get("span_events_captured").and_then(Json::as_f64), Some(0.0));
+    // The hot path itself stays allocation-free either way.
+    let allocs = report.get("allocs_per_packet").expect("allocs section");
+    assert_eq!(allocs.get("steady_state").and_then(Json::as_f64), Some(0.0));
 }

@@ -22,6 +22,8 @@
 //! * [`rng`] — seedable xoshiro256++ randomness (replaces `rand`).
 //! * [`json`] — a tiny JSON emitter/parser (replaces `serde`).
 //! * [`check`] — the randomized-property harness (replaces `proptest`).
+//! * [`telemetry`] — hermetic spans/counters/histograms recorder
+//!   (replaces `tracing`/`metrics`), `BLUEFI_TELEMETRY`-controlled.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -35,13 +37,18 @@ pub mod qam;
 pub mod reversal;
 pub mod rng;
 pub mod stages;
+pub mod telemetry;
 pub mod verify;
 
 pub use cp::CpCompat;
 pub use json::{Json, ToJson};
-pub use par::{par_map, par_map_scratch, worker_count, BatchJob, SynthesisBatch};
+pub use par::{
+    clamped_workers, host_cpus, par_map, par_map_scratch, worker_count, BatchJob,
+    SynthesisBatch,
+};
 pub use pipeline::{BlueFi, Synthesis, SynthesisScratch};
 pub use qam::{Quantizer, ScaleMode};
 pub use reversal::{DecodeStrategy, WeightProfile};
 pub use rng::{Rng, SeedableRng, StdRng};
 pub use stages::Stage;
+pub use telemetry::{Histogram, Table};

@@ -24,23 +24,52 @@
 //! degrades to a plain sequential loop in the calling thread).
 
 use crate::pipeline::{BlueFi, Synthesis, SynthesisScratch};
+use crate::telemetry::{self, Counter, Gauge, SpanKind};
 use bluefi_wifi::channels::ChannelPlan;
 use std::num::NonZeroUsize;
+use std::time::{Duration, Instant};
 
-/// The worker count the batch engine will use: `BLUEFI_THREADS` if set to a
-/// positive integer, otherwise [`std::thread::available_parallelism`]
-/// (falling back to 1 when even that is unavailable).
-pub fn worker_count() -> usize {
-    if let Ok(v) = std::env::var("BLUEFI_THREADS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            if n >= 1 {
-                return n;
-            }
-        }
-    }
+/// Number of CPUs the host exposes ([`std::thread::available_parallelism`],
+/// falling back to 1 when unavailable).
+pub fn host_cpus() -> usize {
     std::thread::available_parallelism()
         .map(NonZeroUsize::get)
         .unwrap_or(1)
+}
+
+/// The worker count pinned by the `BLUEFI_THREADS` environment variable,
+/// if it is set to a positive integer.
+pub fn env_threads() -> Option<usize> {
+    std::env::var("BLUEFI_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+}
+
+/// The worker count the batch engine will use: [`env_threads`] if set,
+/// otherwise [`host_cpus`].
+pub fn worker_count() -> usize {
+    env_threads().unwrap_or_else(host_cpus)
+}
+
+/// Clamps a requested worker count to [`host_cpus`] — spawning more
+/// workers than CPUs only adds scheduler churn (the committed
+/// `BENCH_runtime.json` once showed 0.92× "speedups" from exactly that).
+/// An explicit `BLUEFI_THREADS` override wins unclamped, so deliberate
+/// oversubscription experiments stay possible. Every clamp decision is
+/// recorded on the [`Counter::ParWorkersClamped`] telemetry counter.
+pub fn clamped_workers(requested: usize) -> usize {
+    let requested = requested.max(1);
+    if env_threads().is_some() {
+        return requested;
+    }
+    let cap = host_cpus();
+    if requested > cap {
+        telemetry::incr(Counter::ParWorkersClamped);
+        cap
+    } else {
+        requested
+    }
 }
 
 /// Parallel map with per-worker scratch state and an explicit worker count.
@@ -62,7 +91,12 @@ where
     F: Fn(&mut S, usize, &T) -> U + Sync,
 {
     let n_workers = n_workers.max(1).min(items.len().max(1));
+    telemetry::incr(Counter::ParFanouts);
+    telemetry::add(Counter::ParItems, items.len() as u64);
+    telemetry::add(Counter::ParChunks, n_workers as u64);
+    telemetry::gauge_max(Gauge::ParMaxWorkers, n_workers as u64);
     if n_workers <= 1 {
+        let _busy = telemetry::span(SpanKind::ParWorkerBusy);
         let mut scratch = new_scratch();
         return items
             .iter()
@@ -70,8 +104,13 @@ where
             .map(|(i, t)| f(&mut scratch, i, t))
             .collect();
     }
+    // Timing is captured only when recording is on, so the off path keeps
+    // its exact pre-telemetry shape (no clock reads in workers).
+    let record = telemetry::counters_on();
+    let fanout_start = Instant::now();
     let chunk = items.len().div_ceil(n_workers);
     let mut out: Vec<U> = Vec::with_capacity(items.len());
+    let mut busy_times: Vec<Duration> = Vec::with_capacity(if record { n_workers } else { 0 });
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(n_workers);
         for (w, chunk_items) in items.chunks(chunk).enumerate() {
@@ -79,23 +118,39 @@ where
             let f = &f;
             let new_scratch = &new_scratch;
             handles.push(scope.spawn(move || {
+                let t0 = record.then(Instant::now);
                 let mut scratch = new_scratch();
-                chunk_items
+                let part = chunk_items
                     .iter()
                     .enumerate()
                     .map(|(j, t)| f(&mut scratch, base + j, t))
-                    .collect::<Vec<U>>()
+                    .collect::<Vec<U>>();
+                (part, t0.map(|t| t.elapsed()))
             }));
         }
         // Join in spawn order: concatenating contiguous chunks reproduces
         // the input order exactly.
         for h in handles {
             match h.join() {
-                Ok(part) => out.extend(part),
+                Ok((part, busy)) => {
+                    if let Some(b) = busy {
+                        busy_times.push(b);
+                    }
+                    out.extend(part);
+                }
                 Err(p) => std::panic::resume_unwind(p),
             }
         }
     });
+    if record {
+        // A worker's idle share is the fan-out wall time it did not spend
+        // computing its chunk — the load-imbalance signal.
+        let wall = fanout_start.elapsed();
+        for b in busy_times {
+            telemetry::record_duration(SpanKind::ParWorkerBusy, b);
+            telemetry::record_duration(SpanKind::ParWorkerIdle, wall.saturating_sub(b));
+        }
+    }
     out
 }
 
@@ -240,5 +295,18 @@ mod tests {
     #[test]
     fn worker_count_is_positive() {
         assert!(worker_count() >= 1);
+    }
+
+    #[test]
+    fn clamped_workers_caps_at_host_cpus() {
+        let cap = host_cpus();
+        // An explicit BLUEFI_THREADS in the environment opts out of the
+        // clamp entirely; the cap only applies to the default policy.
+        if env_threads().is_none() {
+            assert_eq!(clamped_workers(cap + 4), cap);
+            assert_eq!(clamped_workers(cap), cap);
+        }
+        assert_eq!(clamped_workers(0), 1);
+        assert_eq!(clamped_workers(1), 1);
     }
 }

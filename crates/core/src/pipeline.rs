@@ -6,6 +6,7 @@ use crate::qam::{QuantizedSymbol, Quantizer, ScaleMode, DEFAULT_SCALE};
 use crate::reversal::{
     extract_psdu_into, reverse_fec_with, DecodeStrategy, Reversal, WeightProfile,
 };
+use crate::telemetry::{self, Counter, Gauge, SpanKind};
 use bluefi_bt::gfsk::{GfskParams, GfskScratch};
 use bluefi_coding::ViterbiScratch;
 use bluefi_dsp::Cx;
@@ -173,6 +174,9 @@ impl BlueFi {
         scratch: &'s mut SynthesisScratch,
     ) -> &'s Synthesis {
         let s = scratch;
+        // Telemetry spans/counters below are static atomics — they add no
+        // heap allocations, preserving the zero-alloc steady state.
+        let _span_total = telemetry::span(SpanKind::Synthesize);
         let mcs = self.strategy.mcs();
         // Synthesize at the (possibly integer-snapped) transmit subcarrier.
         let offset_hz = plan.tx_subcarrier * SUBCARRIER_SPACING_HZ;
@@ -180,11 +184,17 @@ impl BlueFi {
 
         // Sec 2.3: GFSK bits -> frequency -> phase, recentered on the WiFi
         // channel *before* CP construction.
-        s.gfsk.modulate_phase_into(bt_bits, &self.gfsk, offset_hz, &mut s.phase);
+        {
+            let _sp = telemetry::span(SpanKind::Gfsk);
+            s.gfsk.modulate_phase_into(bt_bits, &self.gfsk, offset_hz, &mut s.phase);
+        }
 
         // Sec 2.4: CP- and windowing-compatible phase.
-        self.cp
-            .make_compatible_into(&s.phase, offset_cps, &mut s.theta_ext, &mut s.theta_hat);
+        {
+            let _sp = telemetry::span(SpanKind::CpCompat);
+            self.cp
+                .make_compatible_into(&s.phase, offset_cps, &mut s.theta_ext, &mut s.theta_hat);
+        }
         let bl = self.cp.block_len();
         let n_symbols = s.theta_hat.len() / bl;
 
@@ -204,6 +214,7 @@ impl BlueFi {
         // lint: allow(panic) quantizer_for above guarantees Some
         let quantizer = &s.quantizer.as_ref().unwrap().2;
         let mut err_sum = 0.0;
+        let span_quantize = telemetry::span(SpanKind::Quantize);
         for b in 0..n_symbols {
             let body = &s.theta_hat[b * bl + self.cp.cp_len..(b + 1) * bl];
             quantizer.quantize_body_into(body, &mut s.fft_buf, &mut s.sym);
@@ -218,17 +229,21 @@ impl BlueFi {
             s.coded.extend_from_slice(&s.block);
             s.weights.extend_from_slice(&s.w_of);
         }
+        drop(span_quantize);
         let mean_quant_error_db = err_sum / n_symbols.max(1) as f64;
 
         // Sec 2.7 back half: weighted FEC reversal.
-        reverse_fec_with(
-            &s.coded,
-            &s.weights,
-            self.strategy,
-            plan.tx_subcarrier,
-            &mut s.vit,
-            &mut s.rev,
-        );
+        {
+            let _sp = telemetry::span(SpanKind::FecReversal);
+            reverse_fec_with(
+                &s.coded,
+                &s.weights,
+                self.strategy,
+                plan.tx_subcarrier,
+                &mut s.vit,
+                &mut s.rev,
+            );
+        }
 
         // Sec 2.8 + framing: force the chip-owned bits, descramble, pack —
         // recycling the previous result's buffers.
@@ -236,9 +251,19 @@ impl BlueFi {
             Some(prev) => (prev.psdu, prev.flips),
             None => (Vec::new(), Vec::new()),
         };
+        let span_extract = telemetry::span(SpanKind::Extract);
         let forced_bits = extract_psdu_into(&mut s.rev.scrambled, seed, &mut psdu);
         bluefi_dsp::contracts::ensure_len(&mut flips, s.rev.flips.len(), 0);
         flips.copy_from_slice(&s.rev.flips);
+        drop(span_extract);
+
+        telemetry::incr(Counter::PacketsSynthesized);
+        telemetry::add(Counter::SymbolsProcessed, n_symbols as u64);
+        telemetry::add(Counter::FecFlips, flips.len() as u64);
+        telemetry::add(Counter::ForcedBits, forced_bits as u64);
+        telemetry::gauge_max(Gauge::ScratchCodedBits, s.coded.capacity() as u64);
+        telemetry::gauge_max(Gauge::ScratchPhaseSamples, s.theta_hat.capacity() as u64);
+        telemetry::gauge_max(Gauge::ScratchPsduBytes, psdu.capacity() as u64);
 
         s.result = Some(Synthesis {
             psdu,

@@ -3,6 +3,7 @@
 //! descramble (paper Secs 2.7–2.8).
 
 use crate::qam::QuantizedSymbol;
+use crate::telemetry::{self, Counter};
 use bluefi_coding::lfsr::Lfsr7;
 use bluefi_coding::realtime::RealtimePlan;
 use bluefi_coding::viterbi::{decode_punctured, reencode_flips};
@@ -119,12 +120,15 @@ pub fn reverse_fec(
 ) -> Reversal {
     match strategy {
         DecodeStrategy::WeightedViterbi => {
+            telemetry::incr(Counter::ViterbiDecodes);
+            telemetry::add(Counter::ViterbiCodedBits, coded.len() as u64);
             let rate = CodeRate::R56;
             let decoded = decode_punctured(rate, coded, Some(weights), false);
             let flips = reencode_flips(rate, &decoded, coded);
             Reversal { scrambled: decoded, flips }
         }
         DecodeStrategy::Realtime => {
+            telemetry::incr(Counter::RealtimeDecodes);
             // Positive Bluetooth offsets protect the positive half of the
             // band (flips confined to negative subcarriers) and vice versa.
             let edge = if bt_subcarrier >= 0.0 {
@@ -152,11 +156,14 @@ pub fn reverse_fec_with(
 ) {
     match strategy {
         DecodeStrategy::WeightedViterbi => {
+            telemetry::incr(Counter::ViterbiDecodes);
+            telemetry::add(Counter::ViterbiCodedBits, coded.len() as u64);
             let rate = CodeRate::R56;
             vit.decode_punctured_into(rate, coded, Some(weights), false, &mut out.scrambled);
             vit.reencode_flips_into(rate, &out.scrambled, coded, &mut out.flips);
         }
         DecodeStrategy::Realtime => {
+            telemetry::incr(Counter::RealtimeDecodes);
             let edge = if bt_subcarrier >= 0.0 {
                 FreeEdge::Front
             } else {

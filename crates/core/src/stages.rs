@@ -17,6 +17,7 @@
 
 use crate::pipeline::BlueFi;
 use crate::qam::Quantizer;
+use crate::telemetry::{self, Counter, SpanKind};
 use bluefi_bt::gfsk::{modulate_iq, modulate_phase};
 use bluefi_dsp::fft::{bin_of_subcarrier, fft_plan};
 use bluefi_dsp::Cx;
@@ -68,6 +69,18 @@ impl Stage {
             Stage::Header => "+Header",
         }
     }
+
+    /// The telemetry span kind timing this stage's waveform generation.
+    pub fn span_kind(self) -> SpanKind {
+        match self {
+            Stage::Baseline => SpanKind::StageBaseline,
+            Stage::Cp => SpanKind::StageCp,
+            Stage::Qam => SpanKind::StageQam,
+            Stage::PilotNull => SpanKind::StagePilotNull,
+            Stage::Fec => SpanKind::StageFec,
+            Stage::Header => SpanKind::StageHeader,
+        }
+    }
 }
 
 /// Generates the waveform for `bt_bits` with impairments applied
@@ -80,6 +93,8 @@ pub fn waveform_at_stage(
     seed: u8,
     stage: Stage,
 ) -> Vec<Cx> {
+    let _sp = telemetry::span(stage.span_kind());
+    telemetry::incr(Counter::StageWaveforms);
     let offset_hz = plan.tx_subcarrier * bluefi_wifi::subcarriers::SUBCARRIER_SPACING_HZ;
     let offset_cps = offset_hz / bf.gfsk.sample_rate_hz;
     let mcs = bf.strategy.mcs();

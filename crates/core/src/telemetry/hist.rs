@@ -1,0 +1,197 @@
+//! Fixed-bucket histograms for the telemetry recorder.
+//!
+//! The layout is a log₂ ladder over `u64` values (nanoseconds for span
+//! timings, plain magnitudes otherwise): bucket `i` holds values whose bit
+//! length is `i` — `0` lands in bucket 0, `v ∈ [2^(i-1), 2^i)` in bucket
+//! `i` — and everything at or above `2^(N_BUCKETS-1)` **saturates** into
+//! the last bucket rather than being dropped. Forty buckets cover half a
+//! nanosecond through ~9 minutes, which spans every duration the pipeline
+//! can produce.
+//!
+//! Two views share this layout:
+//!
+//! * the global recorder's lock-free atomic cells
+//!   (`telemetry::AtomicHist`), written from any thread; and
+//! * this plain [`Histogram`], used for snapshots and as the **per-worker
+//!   local** histogram that [`Histogram::merge`] folds together. Merge is
+//!   element-wise addition plus min/max, i.e. commutative and associative,
+//!   so folding per-worker histograms is bit-identical for any worker
+//!   count or merge order — the same determinism guarantee `core::par`
+//!   makes for results.
+
+use crate::json::{Json, ToJson};
+
+/// Number of log₂ buckets. Values with a bit length beyond this saturate
+/// into the last bucket.
+pub const N_BUCKETS: usize = 40;
+
+/// The bucket index for a value: its bit length, clamped to the ladder.
+#[inline]
+pub fn bucket_of(v: u64) -> usize {
+    ((u64::BITS - v.leading_zeros()) as usize).min(N_BUCKETS - 1)
+}
+
+/// Inclusive upper bound of a bucket (`2^i − 1`; the last bucket reports
+/// `u64::MAX` because it absorbs every saturated value).
+#[inline]
+pub fn bucket_upper(i: usize) -> u64 {
+    if i >= N_BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+/// A plain fixed-bucket histogram with exact count/sum/min/max sidecars.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    /// Per-bucket sample counts (log₂ ladder, saturating top bucket).
+    pub buckets: [u64; N_BUCKETS],
+    /// Total samples recorded.
+    pub count: u64,
+    /// Exact sum of all samples (saturating on overflow).
+    pub sum: u64,
+    /// Exact minimum sample (`u64::MAX` when empty).
+    pub min: u64,
+    /// Exact maximum sample (0 when empty).
+    pub max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram { buckets: [0; N_BUCKETS], count: 0, sum: 0, min: u64::MAX, max: 0 }
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        self.buckets[bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Folds `other` into `self`. Element-wise and commutative: merging a
+    /// set of histograms yields bit-identical state in any order.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Mean sample value, `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum as f64 / self.count as f64)
+        }
+    }
+
+    /// Approximate percentile (`p` in 0..=100): the upper bound of the
+    /// bucket where the cumulative count crosses `p`% of the total,
+    /// clamped into the exact `[min, max]` envelope — so a single-sample
+    /// histogram reports that sample exactly at every percentile.
+    /// `None` when empty.
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = (p.clamp(0.0, 100.0) / 100.0 * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(bucket_upper(i).clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+}
+
+impl ToJson for Histogram {
+    fn to_json(&self) -> Json {
+        // The percentile keys are pre-clamped, so a `None` here is
+        // impossible for non-empty histograms; emit null when empty.
+        let pct = |p: f64| match self.percentile(p) {
+            Some(v) => Json::Num(v as f64),
+            None => Json::Null,
+        };
+        Json::obj(vec![
+            ("count", Json::Num(self.count as f64)),
+            ("sum", Json::Num(self.sum as f64)),
+            ("min", if self.is_empty() { Json::Null } else { Json::Num(self.min as f64) }),
+            ("max", if self.is_empty() { Json::Null } else { Json::Num(self.max as f64) }),
+            (
+                "mean",
+                match self.mean() {
+                    Some(m) => Json::Num(m),
+                    None => Json::Null,
+                },
+            ),
+            ("p50", pct(50.0)),
+            ("p90", pct(90.0)),
+            ("p99", pct(99.0)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_ladder_is_log2() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(1023), 10);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), N_BUCKETS - 1);
+    }
+
+    #[test]
+    fn record_tracks_exact_envelope() {
+        let mut h = Histogram::new();
+        for v in [7u64, 300, 12] {
+            h.record(v);
+        }
+        assert_eq!(h.count, 3);
+        assert_eq!(h.sum, 319);
+        assert_eq!(h.min, 7);
+        assert_eq!(h.max, 300);
+        assert!((h.mean().unwrap() - 319.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentiles_are_bracketed_by_envelope() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let p50 = h.percentile(50.0).unwrap();
+        // Bucket resolution: p50 falls in the bucket holding rank 500
+        // (values 256..511 → upper 511).
+        assert!((256..=1000).contains(&p50), "p50 {p50}");
+        assert_eq!(h.percentile(100.0), Some(1000));
+        assert_eq!(h.percentile(0.0).unwrap().max(1), h.percentile(0.0).unwrap());
+    }
+}

@@ -1,0 +1,764 @@
+//! Hermetic telemetry: spans, counters, gauges and fixed-bucket
+//! histograms for the synthesis pipeline — std-only, zero external crates,
+//! zero steady-state heap allocations while recording.
+//!
+//! ## Architecture
+//!
+//! The recorder is a set of `static` atomic cells plus one preallocated
+//! span ring:
+//!
+//! * **Counters** ([`Counter`]) — monotonically increasing `AtomicU64`s
+//!   (packets synthesized, FEC flips, simulator PER outcomes, …).
+//! * **Gauges** ([`Gauge`]) — high-water marks updated with `fetch_max`
+//!   (scratch-buffer capacities, fan-out width).
+//! * **Timing histograms** — one log₂-bucket histogram per [`SpanKind`]
+//!   (see [`hist`]), fed by [`span`] guards and [`record_duration`].
+//! * **Span events** — at the `spans` level each timed span additionally
+//!   appends a `(kind, start_ns, dur_ns)` record to a fixed-capacity ring
+//!   ([`SPAN_RING_CAPACITY`]) that overwrites its oldest entry when full.
+//!   Timestamps are monotonic nanoseconds since the recorder's first use.
+//!
+//! Everything is preallocated or static, so steady-state recording
+//! performs **zero heap allocations per packet** — proven by the
+//! allocation probe in `bluefi_dsp::contracts` (see
+//! `crates/core/tests/telemetry.rs` and the `runtime_profile` bench).
+//!
+//! ## Control surface
+//!
+//! The runtime level mirrors `BLUEFI_THREADS`: the `BLUEFI_TELEMETRY`
+//! environment variable selects `off` (default), `counters` (counters,
+//! gauges and aggregate timing histograms) or `spans` (everything plus the
+//! per-event ring). [`set_level`] overrides it programmatically. When the
+//! `telemetry` cargo feature is disabled, [`compiled`] is `const false`
+//! and every hook const-folds to a no-op — the same pattern as
+//! `bluefi_dsp::contracts`.
+//!
+//! ## Export
+//!
+//! [`snapshot`] captures the recorder into plain data ([`Snapshot`]):
+//! JSON via [`crate::json::ToJson`], human-readable tables via
+//! [`Snapshot::tables`]. Snapshotting allocates — it is a cold path.
+
+pub mod hist;
+pub mod table;
+
+pub use hist::{Histogram, N_BUCKETS};
+pub use table::Table;
+
+use crate::json::{Json, ToJson};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// How much the recorder captures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Record nothing; every hook is a single relaxed atomic load.
+    Off = 0,
+    /// Counters, gauges and aggregate timing histograms.
+    Counters = 1,
+    /// Everything in `Counters`, plus per-event span records in the ring.
+    Spans = 2,
+}
+
+impl Level {
+    /// The level's `BLUEFI_TELEMETRY` spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Off => "off",
+            Level::Counters => "counters",
+            Level::Spans => "spans",
+        }
+    }
+
+    /// Parses a `BLUEFI_TELEMETRY` value (`off` / `counters` / `spans`).
+    pub fn parse(text: &str) -> Option<Level> {
+        match text.trim().to_ascii_lowercase().as_str() {
+            "off" | "0" | "none" => Some(Level::Off),
+            "counters" | "1" => Some(Level::Counters),
+            "spans" | "2" => Some(Level::Spans),
+            _ => None,
+        }
+    }
+}
+
+/// True when telemetry support is compiled in (the `telemetry` cargo
+/// feature, default-on). Const so that disabled builds fold every hook
+/// away entirely.
+#[inline]
+pub const fn compiled() -> bool {
+    cfg!(feature = "telemetry")
+}
+
+const LEVEL_UNSET: u8 = u8::MAX;
+static LEVEL: AtomicU8 = AtomicU8::new(LEVEL_UNSET);
+
+/// The level requested by the `BLUEFI_TELEMETRY` environment variable, if
+/// set to a recognized value.
+pub fn env_level() -> Option<Level> {
+    std::env::var("BLUEFI_TELEMETRY").ok().and_then(|v| Level::parse(&v))
+}
+
+/// The active recording level. Initialized lazily from `BLUEFI_TELEMETRY`
+/// (default [`Level::Off`]); [`set_level`] overrides.
+#[inline]
+pub fn level() -> Level {
+    if !compiled() {
+        return Level::Off;
+    }
+    match LEVEL.load(Ordering::Relaxed) {
+        0 => Level::Off,
+        1 => Level::Counters,
+        2 => Level::Spans,
+        _ => {
+            let l = env_level().unwrap_or(Level::Off);
+            set_level(l);
+            l
+        }
+    }
+}
+
+/// Sets the recording level. Entering [`Level::Spans`] preallocates the
+/// span ring so the steady state that follows never allocates.
+pub fn set_level(l: Level) {
+    if !compiled() {
+        return;
+    }
+    if l == Level::Spans {
+        ring(); // warm the ring allocation outside the hot path
+    }
+    LEVEL.store(l as u8, Ordering::Relaxed);
+}
+
+/// True when counters/gauges/histograms are being recorded.
+#[inline]
+pub fn counters_on() -> bool {
+    compiled() && level() >= Level::Counters
+}
+
+/// True when per-event span records are being captured.
+#[inline]
+pub fn spans_on() -> bool {
+    compiled() && level() >= Level::Spans
+}
+
+macro_rules! metric_enum {
+    ($(#[$outer:meta])* $enum_name:ident { $($variant:ident => $name:literal,)+ }) => {
+        $(#[$outer])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+        pub enum $enum_name {
+            $(#[doc = $name] $variant,)+
+        }
+
+        impl $enum_name {
+            /// Every variant, in declaration order.
+            pub const ALL: &'static [$enum_name] = &[$($enum_name::$variant,)+];
+            /// Number of variants (the static storage size).
+            pub const COUNT: usize = Self::ALL.len();
+
+            /// The metric's snake_case export name.
+            pub fn name(self) -> &'static str {
+                match self {
+                    $($enum_name::$variant => $name,)+
+                }
+            }
+        }
+    };
+}
+
+metric_enum! {
+    /// Monotonically increasing event counters.
+    Counter {
+        PacketsSynthesized => "packets_synthesized",
+        SymbolsProcessed => "ofdm_symbols_processed",
+        FecFlips => "fec_flips",
+        ForcedBits => "forced_bits",
+        ViterbiDecodes => "viterbi_decodes",
+        ViterbiCodedBits => "viterbi_coded_bits",
+        RealtimeDecodes => "realtime_decodes",
+        StageWaveforms => "stage_waveforms",
+        ParFanouts => "par_fanouts",
+        ParItems => "par_items",
+        ParChunks => "par_chunks",
+        ParWorkersClamped => "par_workers_clamped",
+        SimTrials => "sim_trials",
+        SimRssiReports => "sim_rssi_reports",
+        SimRssiSumNegCentiDbm => "sim_rssi_sum_neg_centidbm",
+        SimPacketsOk => "sim_packets_ok",
+        SimPacketsCrcError => "sim_packets_crc_error",
+        SimPacketsLost => "sim_packets_lost",
+    }
+}
+
+metric_enum! {
+    /// High-water-mark gauges (updated with `fetch_max`).
+    Gauge {
+        ScratchCodedBits => "scratch_coded_bits_highwater",
+        ScratchPhaseSamples => "scratch_phase_samples_highwater",
+        ScratchPsduBytes => "scratch_psdu_bytes_highwater",
+        ParMaxWorkers => "par_max_workers",
+    }
+}
+
+metric_enum! {
+    /// Named timed regions. Each kind owns one aggregate timing histogram;
+    /// at the `spans` level each occurrence is also logged to the ring.
+    SpanKind {
+        Synthesize => "synthesize",
+        Gfsk => "gfsk_modulate",
+        CpCompat => "cp_compat",
+        Quantize => "qam_quantize_demap",
+        FecReversal => "fec_reversal",
+        Extract => "descramble_extract",
+        StageBaseline => "stage_baseline",
+        StageCp => "stage_cp",
+        StageQam => "stage_qam",
+        StagePilotNull => "stage_pilot_null",
+        StageFec => "stage_fec",
+        StageHeader => "stage_header",
+        ParWorkerBusy => "par_worker_busy",
+        ParWorkerIdle => "par_worker_idle",
+        SimSession => "sim_session",
+    }
+}
+
+impl SpanKind {
+    /// The pipeline-phase kinds, in execution order — the per-stage
+    /// breakdown `runtime_profile` reports ([`SpanKind::Synthesize`] is
+    /// the enclosing total).
+    pub fn pipeline_phases() -> [SpanKind; 5] {
+        [
+            SpanKind::Gfsk,
+            SpanKind::CpCompat,
+            SpanKind::Quantize,
+            SpanKind::FecReversal,
+            SpanKind::Extract,
+        ]
+    }
+}
+
+static COUNTERS: [AtomicU64; Counter::COUNT] =
+    [const { AtomicU64::new(0) }; Counter::COUNT];
+static GAUGES: [AtomicU64; Gauge::COUNT] = [const { AtomicU64::new(0) }; Gauge::COUNT];
+
+/// Lock-free histogram cells sharing the [`hist`] bucket layout.
+struct AtomicHist {
+    buckets: [AtomicU64; hist::N_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl AtomicHist {
+    const fn new() -> AtomicHist {
+        AtomicHist {
+            buckets: [const { AtomicU64::new(0) }; hist::N_BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    fn record(&self, v: u64) {
+        self.buckets[hist::bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> Histogram {
+        let mut h = Histogram::new();
+        for (slot, cell) in h.buckets.iter_mut().zip(&self.buckets) {
+            *slot = cell.load(Ordering::Relaxed);
+        }
+        h.count = self.count.load(Ordering::Relaxed);
+        h.sum = self.sum.load(Ordering::Relaxed);
+        h.min = self.min.load(Ordering::Relaxed);
+        h.max = self.max.load(Ordering::Relaxed);
+        h
+    }
+
+    fn reset(&self) {
+        for cell in &self.buckets {
+            cell.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+static SPAN_HISTS: [AtomicHist; SpanKind::COUNT] =
+    [const { AtomicHist::new() }; SpanKind::COUNT];
+
+/// Adds `n` to a counter. A relaxed-load no-op below [`Level::Counters`].
+#[inline]
+pub fn add(c: Counter, n: u64) {
+    if counters_on() {
+        COUNTERS[c as usize].fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// Increments a counter by one.
+#[inline]
+pub fn incr(c: Counter) {
+    add(c, 1);
+}
+
+/// The counter's current value (0 when recording is off).
+pub fn counter(c: Counter) -> u64 {
+    COUNTERS[c as usize].load(Ordering::Relaxed)
+}
+
+/// Raises a high-water-mark gauge to at least `v`.
+#[inline]
+pub fn gauge_max(g: Gauge, v: u64) {
+    if counters_on() {
+        GAUGES[g as usize].fetch_max(v, Ordering::Relaxed);
+    }
+}
+
+/// The gauge's current high-water mark.
+pub fn gauge(g: Gauge) -> u64 {
+    GAUGES[g as usize].load(Ordering::Relaxed)
+}
+
+// -- Monotonic clock ------------------------------------------------------
+
+fn epoch() -> &'static Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH.get_or_init(Instant::now)
+}
+
+/// Monotonic nanoseconds since the recorder's first use (the timestamp
+/// base of every [`SpanEvent`]).
+pub fn now_ns() -> u64 {
+    epoch().elapsed().as_nanos() as u64
+}
+
+// -- Spans ----------------------------------------------------------------
+
+/// One captured span occurrence: what ran, when it started (monotonic, see
+/// [`now_ns`]) and for how long.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Which region ran.
+    pub kind: SpanKind,
+    /// Start timestamp, nanoseconds since the recorder epoch.
+    pub start_ns: u64,
+    /// Duration, nanoseconds.
+    pub dur_ns: u64,
+}
+
+impl ToJson for SpanEvent {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("kind", Json::Str(self.kind.name().to_string())),
+            ("start_ns", Json::Num(self.start_ns as f64)),
+            ("dur_ns", Json::Num(self.dur_ns as f64)),
+        ])
+    }
+}
+
+/// Capacity of the span-event ring. When full, the oldest event is
+/// overwritten (and counted in [`Snapshot::dropped_events`]).
+pub const SPAN_RING_CAPACITY: usize = 4096;
+
+struct Ring {
+    buf: Vec<SpanEvent>,
+    head: usize,
+    dropped: u64,
+}
+
+fn ring() -> &'static Mutex<Ring> {
+    static RING: OnceLock<Mutex<Ring>> = OnceLock::new();
+    RING.get_or_init(|| {
+        Mutex::new(Ring {
+            buf: Vec::with_capacity(SPAN_RING_CAPACITY),
+            head: 0,
+            dropped: 0,
+        })
+    })
+}
+
+fn push_event(ev: SpanEvent) {
+    // A poisoned lock only means another thread panicked mid-push; the
+    // ring is still structurally sound, so recover rather than propagate.
+    let mut r = ring().lock().unwrap_or_else(|p| p.into_inner());
+    if r.buf.len() < SPAN_RING_CAPACITY {
+        if r.buf.len() == r.buf.capacity() {
+            // Never taken (the ring is preallocated) — but if it ever
+            // were, the allocation must self-report like every hot path.
+            bluefi_dsp::contracts::probe_alloc();
+        }
+        r.buf.push(ev);
+    } else {
+        let h = r.head;
+        r.buf[h] = ev;
+        r.head = (h + 1) % SPAN_RING_CAPACITY;
+        r.dropped += 1;
+    }
+}
+
+/// Records a region's duration directly (used where a guard cannot span
+/// the region, e.g. per-worker chunk times reported after a join). The
+/// event's start is back-dated by the duration.
+pub fn record_duration(kind: SpanKind, dur: Duration) {
+    if !counters_on() {
+        return;
+    }
+    let ns = dur.as_nanos().min(u64::MAX as u128) as u64;
+    SPAN_HISTS[kind as usize].record(ns);
+    if spans_on() {
+        push_event(SpanEvent {
+            kind,
+            start_ns: now_ns().saturating_sub(ns),
+            dur_ns: ns,
+        });
+    }
+}
+
+/// A drop-guard that times a region and records it as `kind`. Below
+/// [`Level::Counters`] the guard is inert (no clock read, no recording).
+#[must_use = "the span measures until the guard drops"]
+#[derive(Debug)]
+pub struct SpanGuard {
+    kind: SpanKind,
+    start: Option<(u64, Instant)>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some((start_ns, t)) = self.start {
+            let ns = t.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            if counters_on() {
+                SPAN_HISTS[self.kind as usize].record(ns);
+                if spans_on() {
+                    push_event(SpanEvent { kind: self.kind, start_ns, dur_ns: ns });
+                }
+            }
+        }
+    }
+}
+
+/// Opens a timed span; the region ends (and is recorded) when the guard
+/// drops.
+#[inline]
+pub fn span(kind: SpanKind) -> SpanGuard {
+    if !counters_on() {
+        return SpanGuard { kind, start: None };
+    }
+    SpanGuard { kind, start: Some((now_ns(), Instant::now())) }
+}
+
+/// The aggregate timing histogram for one span kind (empty when that kind
+/// never ran or recording is off).
+pub fn span_hist(kind: SpanKind) -> Histogram {
+    SPAN_HISTS[kind as usize].snapshot()
+}
+
+// -- Snapshot & reset -----------------------------------------------------
+
+/// One span kind's aggregate timing statistics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanStat {
+    /// Which region.
+    pub kind: SpanKind,
+    /// Its timing histogram (nanoseconds).
+    pub hist: Histogram,
+}
+
+impl ToJson for SpanStat {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("kind", Json::Str(self.kind.name().to_string())),
+            ("ns", self.hist.to_json()),
+        ])
+    }
+}
+
+/// A point-in-time copy of the whole recorder, safe to serialize or
+/// render after recording moves on.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// The level the recorder was at when captured.
+    pub level: Level,
+    /// Every counter `(name, value)`, in [`Counter::ALL`] order.
+    pub counters: Vec<(&'static str, u64)>,
+    /// Every gauge `(name, high-water value)`, in [`Gauge::ALL`] order.
+    pub gauges: Vec<(&'static str, u64)>,
+    /// Timing statistics for every span kind that recorded at least one
+    /// occurrence.
+    pub spans: Vec<SpanStat>,
+    /// Ring contents, oldest first (only populated at [`Level::Spans`]).
+    pub events: Vec<SpanEvent>,
+    /// Events overwritten because the ring was full.
+    pub dropped_events: u64,
+}
+
+impl Snapshot {
+    /// The timing stats for one span kind, if it recorded anything.
+    pub fn span_stat(&self, kind: SpanKind) -> Option<&SpanStat> {
+        self.spans.iter().find(|s| s.kind == kind)
+    }
+
+    /// The value of one counter.
+    pub fn counter(&self, c: Counter) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| *n == c.name())
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    }
+
+    /// Human-readable tables: non-zero counters/gauges, and per-span
+    /// timing (count, mean/p50/p90 in µs, total ms).
+    pub fn tables(&self) -> Vec<Table> {
+        let mut out = Vec::new();
+        let mut counters = Table::new("telemetry — counters", &["counter", "value"]);
+        for &(name, v) in self.counters.iter().filter(|(_, v)| *v > 0) {
+            counters.row(vec![name.to_string(), v.to_string()]);
+        }
+        for &(name, v) in self.gauges.iter().filter(|(_, v)| *v > 0) {
+            counters.row(vec![name.to_string(), v.to_string()]);
+        }
+        if !counters.rows.is_empty() {
+            out.push(counters);
+        }
+        if !self.spans.is_empty() {
+            let mut spans = Table::new(
+                "telemetry — span timing",
+                &["span", "count", "mean µs", "p50 µs", "p90 µs", "total ms"],
+            );
+            for s in &self.spans {
+                let us = |v: Option<u64>| match v {
+                    Some(n) => format!("{:.1}", n as f64 / 1e3),
+                    None => "-".to_string(),
+                };
+                spans.row(vec![
+                    s.kind.name().to_string(),
+                    s.hist.count.to_string(),
+                    match s.hist.mean() {
+                        Some(m) => format!("{:.1}", m / 1e3),
+                        None => "-".to_string(),
+                    },
+                    us(s.hist.percentile(50.0)),
+                    us(s.hist.percentile(90.0)),
+                    format!("{:.3}", s.hist.sum as f64 / 1e6),
+                ]);
+            }
+            out.push(spans);
+        }
+        out
+    }
+}
+
+impl ToJson for Snapshot {
+    fn to_json(&self) -> Json {
+        let metric_obj = |pairs: &[(&'static str, u64)]| {
+            Json::Obj(
+                pairs
+                    .iter()
+                    .map(|&(n, v)| (n.to_string(), Json::Num(v as f64)))
+                    .collect(),
+            )
+        };
+        Json::obj(vec![
+            ("level", Json::Str(self.level.name().to_string())),
+            ("counters", metric_obj(&self.counters)),
+            ("gauges", metric_obj(&self.gauges)),
+            (
+                "spans",
+                Json::Obj(
+                    self.spans
+                        .iter()
+                        .map(|s| (s.kind.name().to_string(), s.hist.to_json()))
+                        .collect(),
+                ),
+            ),
+            (
+                "span_events",
+                Json::Arr(self.events.iter().map(ToJson::to_json).collect()),
+            ),
+            ("dropped_events", Json::Num(self.dropped_events as f64)),
+        ])
+    }
+}
+
+/// Captures the recorder. Allocates (cold path) — never call from inside
+/// a measured region.
+pub fn snapshot() -> Snapshot {
+    let counters = Counter::ALL.iter().map(|&c| (c.name(), counter(c))).collect();
+    let gauges = Gauge::ALL.iter().map(|&g| (g.name(), gauge(g))).collect();
+    let spans: Vec<SpanStat> = SpanKind::ALL
+        .iter()
+        .map(|&kind| SpanStat { kind, hist: span_hist(kind) })
+        .filter(|s| !s.hist.is_empty())
+        .collect();
+    let (events, dropped_events) = {
+        let r = ring().lock().unwrap_or_else(|p| p.into_inner());
+        let mut events = Vec::with_capacity(r.buf.len());
+        // Oldest-first: the ring wraps at `head` once full.
+        events.extend_from_slice(&r.buf[r.head..]);
+        events.extend_from_slice(&r.buf[..r.head]);
+        (events, r.dropped)
+    };
+    Snapshot { level: level(), counters, gauges, spans, events, dropped_events }
+}
+
+/// Zeroes every counter, gauge and histogram and clears the span ring
+/// (capacity retained). The level is unchanged.
+pub fn reset() {
+    for cell in &COUNTERS {
+        cell.store(0, Ordering::Relaxed);
+    }
+    for cell in &GAUGES {
+        cell.store(0, Ordering::Relaxed);
+    }
+    for h in &SPAN_HISTS {
+        h.reset();
+    }
+    let mut r = ring().lock().unwrap_or_else(|p| p.into_inner());
+    r.buf.clear();
+    r.head = 0;
+    r.dropped = 0;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The recorder is global; tests that flip the level serialize on this
+    // (the integration suite in tests/telemetry.rs does the same).
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        static GATE: Mutex<()> = Mutex::new(());
+        GATE.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    #[test]
+    fn compiled_is_on_by_default() {
+        assert!(compiled());
+    }
+
+    #[test]
+    fn level_parse_roundtrip() {
+        for l in [Level::Off, Level::Counters, Level::Spans] {
+            assert_eq!(Level::parse(l.name()), Some(l));
+        }
+        assert_eq!(Level::parse(" SPANS "), Some(Level::Spans));
+        assert_eq!(Level::parse("garbage"), None);
+    }
+
+    #[test]
+    fn off_level_records_nothing() {
+        let _g = lock();
+        set_level(Level::Off);
+        reset();
+        incr(Counter::PacketsSynthesized);
+        gauge_max(Gauge::ParMaxWorkers, 9);
+        record_duration(SpanKind::Synthesize, Duration::from_micros(5));
+        drop(span(SpanKind::Gfsk));
+        let snap = snapshot();
+        assert_eq!(snap.counter(Counter::PacketsSynthesized), 0);
+        assert!(snap.spans.is_empty());
+        assert!(snap.events.is_empty());
+    }
+
+    #[test]
+    fn counters_level_aggregates_without_events() {
+        let _g = lock();
+        set_level(Level::Counters);
+        reset();
+        add(Counter::SymbolsProcessed, 107);
+        incr(Counter::PacketsSynthesized);
+        gauge_max(Gauge::ScratchPsduBytes, 3400);
+        gauge_max(Gauge::ScratchPsduBytes, 1200); // lower: no effect
+        record_duration(SpanKind::FecReversal, Duration::from_micros(250));
+        let snap = snapshot();
+        assert_eq!(snap.counter(Counter::SymbolsProcessed), 107);
+        assert_eq!(snap.counter(Counter::PacketsSynthesized), 1);
+        assert_eq!(gauge(Gauge::ScratchPsduBytes), 3400);
+        let stat = snap.span_stat(SpanKind::FecReversal).expect("recorded");
+        assert_eq!(stat.hist.count, 1);
+        assert!(stat.hist.min >= 250_000 && stat.hist.min < 251_000);
+        assert!(snap.events.is_empty(), "no ring events below spans level");
+        set_level(Level::Off);
+        reset();
+    }
+
+    #[test]
+    fn spans_level_captures_ring_events_in_order() {
+        let _g = lock();
+        set_level(Level::Spans);
+        reset();
+        {
+            let _a = span(SpanKind::Gfsk);
+        }
+        {
+            let _b = span(SpanKind::CpCompat);
+        }
+        let snap = snapshot();
+        assert_eq!(snap.events.len(), 2);
+        assert_eq!(snap.events[0].kind, SpanKind::Gfsk);
+        assert_eq!(snap.events[1].kind, SpanKind::CpCompat);
+        assert!(snap.events[0].start_ns <= snap.events[1].start_ns);
+        assert_eq!(snap.dropped_events, 0);
+        set_level(Level::Off);
+        reset();
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_and_counts_drops() {
+        let _g = lock();
+        set_level(Level::Spans);
+        reset();
+        for _ in 0..SPAN_RING_CAPACITY + 10 {
+            record_duration(SpanKind::SimSession, Duration::from_nanos(100));
+        }
+        let snap = snapshot();
+        assert_eq!(snap.events.len(), SPAN_RING_CAPACITY);
+        assert_eq!(snap.dropped_events, 10);
+        // Oldest-first ordering survives the wrap.
+        for w in snap.events.windows(2) {
+            assert!(w[0].start_ns <= w[1].start_ns);
+        }
+        set_level(Level::Off);
+        reset();
+    }
+
+    #[test]
+    fn snapshot_tables_render() {
+        let _g = lock();
+        set_level(Level::Counters);
+        reset();
+        incr(Counter::ParFanouts);
+        record_duration(SpanKind::ParWorkerBusy, Duration::from_millis(2));
+        let tables = snapshot().tables();
+        assert_eq!(tables.len(), 2);
+        assert!(tables[0].render().contains("par_fanouts"));
+        assert!(tables[1].render().contains("par_worker_busy"));
+        set_level(Level::Off);
+        reset();
+    }
+
+    #[test]
+    fn snapshot_json_schema() {
+        let _g = lock();
+        set_level(Level::Counters);
+        reset();
+        incr(Counter::SimTrials);
+        let j = snapshot().to_json();
+        assert_eq!(j.get("level").and_then(Json::as_str), Some("counters"));
+        assert_eq!(
+            j.get("counters").and_then(|c| c.get("sim_trials")).and_then(Json::as_f64),
+            Some(1.0)
+        );
+        assert!(j.get("span_events").and_then(Json::as_arr).is_some());
+        set_level(Level::Off);
+        reset();
+    }
+}

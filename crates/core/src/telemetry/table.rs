@@ -1,0 +1,118 @@
+//! The structured table writer: one type that renders either as an
+//! aligned human-readable text table or as machine-readable JSON.
+//!
+//! This replaces the ad-hoc `println!` helpers the bench binaries used to
+//! carry: a binary builds [`Table`]s (and free-form notes) once, and the
+//! presentation layer decides the output format — `render()` for the
+//! terminal, [`ToJson`] for `--json` pipelines and report files.
+
+use crate::json::{Json, ToJson};
+
+/// A titled table: a header row plus data rows of display-ready cells.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    /// Table title (rendered as `== title ==`).
+    pub title: String,
+    /// Column headers.
+    pub header: Vec<String>,
+    /// Data rows; each row's cells align under the header columns.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// An empty table with a title and header.
+    pub fn new(title: &str, header: &[&str]) -> Table {
+        Table {
+            title: title.to_string(),
+            header: header.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one data row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Renders the aligned text form (title line, header, rows), matching
+    /// the layout the bench binaries have always printed.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                if i < widths.len() {
+                    widths[i] = widths[i].max(c.len());
+                }
+            }
+        }
+        let fmt_row = |cells: &[String]| {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:w$}", c, w = widths.get(i).copied().unwrap_or(8)))
+                .collect::<Vec<_>>()
+                .join("  ")
+                .trim_end()
+                .to_string()
+        };
+        let mut out = format!("\n== {} ==\n", self.title);
+        out.push_str(&fmt_row(&self.header));
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&fmt_row(r));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl ToJson for Table {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("title", Json::Str(self.title.clone())),
+            (
+                "header",
+                Json::Arr(self.header.iter().map(|h| Json::Str(h.clone())).collect()),
+            ),
+            (
+                "rows",
+                Json::Arr(
+                    self.rows
+                        .iter()
+                        .map(|r| {
+                            Json::Arr(r.iter().map(|c| Json::Str(c.clone())).collect())
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.row(vec!["alpha".into(), "1".into()]);
+        t.row(vec!["b".into(), "23456".into()]);
+        let text = t.render();
+        assert!(text.contains("== demo =="));
+        assert!(text.contains("name   value"));
+        assert!(text.contains("alpha  1"));
+        assert!(text.contains("b      23456"));
+    }
+
+    #[test]
+    fn json_form_carries_everything() {
+        let mut t = Table::new("demo", &["a"]);
+        t.row(vec!["x".into()]);
+        let j = t.to_json();
+        assert_eq!(j.get("title").and_then(Json::as_str), Some("demo"));
+        assert_eq!(j.get("header").and_then(Json::as_arr).map(|a| a.len()), Some(1));
+        let rows = j.get("rows").and_then(Json::as_arr).unwrap();
+        assert_eq!(rows[0].as_arr().unwrap()[0].as_str(), Some("x"));
+    }
+}

@@ -15,6 +15,7 @@ use bluefi_wifi::subcarriers::SUBCARRIER_SPACING_HZ;
 use bluefi_wifi::ChipModel;
 use bluefi_core::json::{Json, ToJson};
 use bluefi_core::rng::{Rng, SeedableRng, StdRng};
+use bluefi_core::telemetry::{self, Counter, SpanKind};
 
 /// Which transmitter drives a session.
 #[derive(Debug, Clone)]
@@ -146,6 +147,8 @@ fn chip_seed(chip: &ChipModel) -> u8 {
 /// show. `seed` controls all randomness (channel noise, shadowing, device
 /// jitter).
 pub fn run_beacon_session(kind: &TxKind, cfg: &SessionConfig, seed: u64) -> Vec<RssiSample> {
+    let _sp = telemetry::span(SpanKind::SimSession);
+    telemetry::incr(Counter::SimTrials);
     let (tx_wave, rx_offset_hz, ripple) = build_tx(kind, cfg.ble_channel);
     let channel = Channel::new(cfg.channel.clone());
     let rx = cfg.device.receiver(rx_offset_hz);
@@ -179,6 +182,14 @@ pub fn run_beacon_session(kind: &TxKind, cfg: &SessionConfig, seed: u64) -> Vec<
             });
         }
     }
+    telemetry::add(Counter::SimRssiReports, out.len() as u64);
+    // RSSI is negative dBm; accumulate -rssi in centi-dB so a mean can be
+    // recovered from two integer counters (sum / reports / -100).
+    let neg_centidb: u64 = out
+        .iter()
+        .map(|s| (-s.rssi_dbm * 100.0).max(0.0).round() as u64)
+        .sum();
+    telemetry::add(Counter::SimRssiSumNegCentiDbm, neg_centidb);
     out
 }
 
@@ -239,6 +250,9 @@ pub fn run_packet_counts(kind: &TxKind, cfg: &SessionConfig, n: usize, seed: u64
             None => counts.lost += 1,
         }
     }
+    telemetry::add(Counter::SimPacketsOk, counts.ok as u64);
+    telemetry::add(Counter::SimPacketsCrcError, counts.crc_error as u64);
+    telemetry::add(Counter::SimPacketsLost, counts.lost as u64);
     counts
 }
 
