@@ -112,6 +112,31 @@ mod tests {
     }
 
     #[test]
+    fn conformance_manifest_shape_is_hermetic() {
+        // The exact dependency shape of `crates/conformance/Cargo.toml`:
+        // six sibling crates, workspace-inherited metadata, nothing else.
+        // Keeping this fixture in sync with the real manifest means R3
+        // provably covers the conformance crate's shape, not just generic
+        // examples.
+        let text = "[package]\n\
+                    name = \"bluefi-conformance\"\n\
+                    version.workspace = true\n\
+                    [dependencies]\n\
+                    bluefi-dsp.workspace = true\n\
+                    bluefi-coding.workspace = true\n\
+                    bluefi-wifi.workspace = true\n\
+                    bluefi-bt.workspace = true\n\
+                    bluefi-core.workspace = true\n\
+                    bluefi-sim.workspace = true\n";
+        assert!(scan_manifest("crates/conformance/Cargo.toml", text).is_empty());
+        // And the same shape with one external fixture-diffing crate
+        // sneaked in must fire.
+        let bad = format!("{text}serde = \"1\"\n");
+        let d = scan_manifest("crates/conformance/Cargo.toml", &bad);
+        assert_eq!(d.len(), 2); // dep-section entry + banned-name mention
+    }
+
+    #[test]
     fn dev_and_target_sections_are_checked() {
         let text = "[dev-dependencies]\nproptest = \"1\"\n[target.'cfg(unix)'.dependencies]\nlibc = \"0.2\"\n";
         let d = scan_manifest("Cargo.toml", text);

@@ -1,0 +1,342 @@
+//! Canonical encodings and FNV-1a digests for conformance vectors.
+//!
+//! Every pipeline stage is reduced to a flat stream of `u64` words with a
+//! fixed, type-driven encoding (bits become 0/1 words, `f64`s their IEEE
+//! bit pattern, complex samples a re/im word pair). Digesting the word
+//! stream — rather than a float-formatted rendering — makes the golden
+//! vectors *bit*-exact: two runs match iff every sample is identical down
+//! to the last mantissa bit.
+//!
+//! A [`StageVector`] additionally keeps running-digest **checkpoints**
+//! every [`CHECKPOINT_WORDS`] words and the literal first
+//! [`PREFIX_WORDS`] words, so a mismatch is localized (stage, word window,
+//! and — inside the prefix — the exact word with both values) instead of a
+//! bare "digest differs".
+
+use bluefi_dsp::Cx;
+
+/// Number of leading words stored verbatim in a fixture.
+pub const PREFIX_WORDS: usize = 64;
+
+/// Word interval between running-digest checkpoints.
+pub const CHECKPOINT_WORDS: usize = 2048;
+
+/// 64-bit FNV-1a over little-endian word bytes.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv64(u64);
+
+impl Fnv64 {
+    /// The standard FNV-1a offset basis.
+    pub fn new() -> Fnv64 {
+        Fnv64(0xCBF2_9CE4_8422_2325)
+    }
+
+    /// Absorbs one word (as 8 little-endian bytes).
+    pub fn write_u64(&mut self, w: u64) {
+        for b in w.to_le_bytes() {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+
+    /// The current digest value.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Fnv64 {
+        Fnv64::new()
+    }
+}
+
+/// Types with a canonical `u64`-word encoding.
+pub trait Canon {
+    /// Appends this value's words to `out`.
+    fn push_words(&self, out: &mut Vec<u64>);
+}
+
+impl Canon for bool {
+    fn push_words(&self, out: &mut Vec<u64>) {
+        out.push(*self as u64);
+    }
+}
+
+impl Canon for u8 {
+    fn push_words(&self, out: &mut Vec<u64>) {
+        out.push(*self as u64);
+    }
+}
+
+impl Canon for u32 {
+    fn push_words(&self, out: &mut Vec<u64>) {
+        out.push(*self as u64);
+    }
+}
+
+impl Canon for usize {
+    fn push_words(&self, out: &mut Vec<u64>) {
+        out.push(*self as u64);
+    }
+}
+
+impl Canon for f64 {
+    fn push_words(&self, out: &mut Vec<u64>) {
+        out.push(self.to_bits());
+    }
+}
+
+impl Canon for Cx {
+    fn push_words(&self, out: &mut Vec<u64>) {
+        out.push(self.re.to_bits());
+        out.push(self.im.to_bits());
+    }
+}
+
+/// The canonical word stream of a slice.
+pub fn words_of<T: Canon>(items: &[T]) -> Vec<u64> {
+    let mut out = Vec::with_capacity(items.len() * 2);
+    for v in items {
+        v.push_words(&mut out);
+    }
+    out
+}
+
+/// One stage boundary reduced to (length, prefix, checkpoints, digest).
+///
+/// This is what a fixture commits per stage; the full word stream is never
+/// stored, so the on-disk vectors stay small while divergences are still
+/// localized to a [`CHECKPOINT_WORDS`] window (exactly, inside the prefix).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageVector {
+    /// Stage name in chain order (e.g. `scrambled`, `coded`, `final_iq`).
+    pub stage: String,
+    /// Number of source elements captured.
+    pub elems: usize,
+    /// Number of canonical words (elements × words-per-element).
+    pub words: usize,
+    /// Full-stream FNV-1a digest (length-seeded).
+    pub digest: u64,
+    /// Running digest after every [`CHECKPOINT_WORDS`] words.
+    pub checkpoints: Vec<u64>,
+    /// The literal first [`PREFIX_WORDS`] words.
+    pub prefix: Vec<u64>,
+}
+
+impl StageVector {
+    /// Captures a stage from its elements.
+    pub fn capture<T: Canon>(stage: &str, items: &[T]) -> StageVector {
+        StageVector::from_words(stage, items.len(), &words_of(items))
+    }
+
+    /// Captures a stage from an already-encoded word stream.
+    pub fn from_words(stage: &str, elems: usize, words: &[u64]) -> StageVector {
+        let mut h = Fnv64::new();
+        h.write_u64(elems as u64);
+        h.write_u64(words.len() as u64);
+        let mut checkpoints = Vec::new();
+        for (i, &w) in words.iter().enumerate() {
+            h.write_u64(w);
+            if (i + 1) % CHECKPOINT_WORDS == 0 {
+                checkpoints.push(h.finish());
+            }
+        }
+        StageVector {
+            stage: stage.to_string(),
+            elems,
+            words: words.len(),
+            digest: h.finish(),
+            checkpoints,
+            prefix: words[..words.len().min(PREFIX_WORDS)].to_vec(),
+        }
+    }
+
+    /// Compares against a fixture-loaded expectation, returning the first
+    /// divergence in localization order: length, prefix word, checkpoint
+    /// window, then whole-stream digest.
+    pub fn first_divergence(&self, expected: &StageVector) -> Option<Divergence> {
+        let mk = |kind: &str, index: usize, exp: String, got: String| Divergence {
+            stage: expected.stage.clone(),
+            kind: kind.to_string(),
+            index,
+            expected: exp,
+            got,
+        };
+        if self.elems != expected.elems || self.words != expected.words {
+            return Some(mk(
+                "length",
+                0,
+                format!("{} elems / {} words", expected.elems, expected.words),
+                format!("{} elems / {} words", self.elems, self.words),
+            ));
+        }
+        for (i, (g, e)) in self.prefix.iter().zip(&expected.prefix).enumerate() {
+            if g != e {
+                return Some(mk("prefix-word", i, format!("{e:#018x}"), format!("{g:#018x}")));
+            }
+        }
+        for (i, (g, e)) in self.checkpoints.iter().zip(&expected.checkpoints).enumerate() {
+            if g != e {
+                return Some(mk(
+                    "checkpoint",
+                    i * CHECKPOINT_WORDS,
+                    format!("{e:#018x}"),
+                    format!("{g:#018x}"),
+                ));
+            }
+        }
+        if self.digest != expected.digest {
+            return Some(mk(
+                "digest",
+                self.words,
+                format!("{:#018x}", expected.digest),
+                format!("{:#018x}", self.digest),
+            ));
+        }
+        None
+    }
+}
+
+/// Word-exact comparison of two in-memory streams (used by the
+/// differential harness, where both sides are fully materialized and the
+/// exact diverging index is always available).
+pub fn compare_words(stage: &str, expected: &[u64], got: &[u64]) -> Option<Divergence> {
+    if expected.len() != got.len() {
+        return Some(Divergence {
+            stage: stage.to_string(),
+            kind: "length".to_string(),
+            index: 0,
+            expected: format!("{} words", expected.len()),
+            got: format!("{} words", got.len()),
+        });
+    }
+    for (i, (e, g)) in expected.iter().zip(got).enumerate() {
+        if e != g {
+            return Some(Divergence {
+                stage: stage.to_string(),
+                kind: "word".to_string(),
+                index: i,
+                expected: format!("{e:#018x}"),
+                got: format!("{g:#018x}"),
+            });
+        }
+    }
+    None
+}
+
+/// A localized bit-exactness failure: which stage, where, and both values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Divergence {
+    /// Stage (or variant/field) name.
+    pub stage: String,
+    /// What diverged: `length`, `prefix-word`, `checkpoint`, `digest`,
+    /// `word`, or `meta:<key>`.
+    pub kind: String,
+    /// Word index of the divergence (window start for `checkpoint`).
+    pub index: usize,
+    /// The expected value at that point.
+    pub expected: String,
+    /// The value actually observed.
+    pub got: String,
+}
+
+impl std::fmt::Display for Divergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "stage `{}`: first divergence at {} word {}: expected {}, got {}",
+            self.stage, self.kind, self.index, self.expected, self.got
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bluefi_dsp::cx;
+
+    #[test]
+    fn digest_depends_on_every_word_and_length() {
+        let a = StageVector::capture("s", &[true, false, true]);
+        let b = StageVector::capture("s", &[true, false, false]);
+        let c = StageVector::capture("s", &[true, false]);
+        assert_ne!(a.digest, b.digest);
+        assert_ne!(a.digest, c.digest);
+        assert_eq!(a, StageVector::capture("s", &[true, false, true]));
+    }
+
+    #[test]
+    fn complex_encoding_is_bit_exact() {
+        let a = StageVector::capture("iq", &[cx(1.0, -0.0)]);
+        let b = StageVector::capture("iq", &[cx(1.0, 0.0)]);
+        // -0.0 and 0.0 compare equal as floats but are different bits: the
+        // canonical encoding must distinguish them.
+        assert_ne!(a.digest, b.digest);
+        assert_eq!(a.elems, 1);
+        assert_eq!(a.words, 2);
+    }
+
+    #[test]
+    fn prefix_divergence_reports_exact_word() {
+        let mut x: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let a = StageVector::capture("phase", &x);
+        x[3] = 3.5;
+        let b = StageVector::capture("phase", &x);
+        let d = b.first_divergence(&a).expect("must diverge");
+        assert_eq!(d.kind, "prefix-word");
+        assert_eq!(d.index, 3);
+        assert_eq!(d.expected, format!("{:#018x}", 3.0f64.to_bits()));
+        assert_eq!(d.got, format!("{:#018x}", 3.5f64.to_bits()));
+    }
+
+    #[test]
+    fn checkpoint_divergence_localizes_beyond_the_prefix() {
+        let mut x: Vec<bool> = (0..3 * CHECKPOINT_WORDS).map(|i| i % 3 == 0).collect();
+        let a = StageVector::capture("bits", &x);
+        let flip = CHECKPOINT_WORDS + 17;
+        x[flip] = !x[flip];
+        let b = StageVector::capture("bits", &x);
+        let d = b.first_divergence(&a).expect("must diverge");
+        assert_eq!(d.kind, "checkpoint");
+        // The flip sits in the second checkpoint window.
+        assert_eq!(d.index, CHECKPOINT_WORDS);
+    }
+
+    #[test]
+    fn tail_divergence_falls_back_to_the_digest() {
+        // Shorter than a checkpoint window, longer than the prefix: only
+        // the final digest can see a tail flip.
+        let mut x: Vec<bool> = (0..PREFIX_WORDS + 10).map(|i| i % 2 == 0).collect();
+        let a = StageVector::capture("bits", &x);
+        let last = x.len() - 1;
+        x[last] = !x[last];
+        let b = StageVector::capture("bits", &x);
+        let d = b.first_divergence(&a).expect("must diverge");
+        assert_eq!(d.kind, "digest");
+    }
+
+    #[test]
+    fn length_divergence_wins() {
+        let a = StageVector::capture("bits", &[true; 8]);
+        let b = StageVector::capture("bits", &[true; 9]);
+        let d = b.first_divergence(&a).expect("must diverge");
+        assert_eq!(d.kind, "length");
+    }
+
+    #[test]
+    fn identical_vectors_do_not_diverge() {
+        let x: Vec<u32> = (0..5000).collect();
+        let a = StageVector::capture("w", &x);
+        assert!(a.first_divergence(&a.clone()).is_none());
+    }
+
+    #[test]
+    fn compare_words_pinpoints_the_index() {
+        let a = [1u64, 2, 3, 4];
+        let b = [1u64, 2, 9, 4];
+        let d = compare_words("s", &a, &b).expect("diverges");
+        assert_eq!((d.kind.as_str(), d.index), ("word", 2));
+        assert!(compare_words("s", &a, &a).is_none());
+    }
+}

@@ -1,0 +1,78 @@
+//! Conformance CLI: regenerate/check golden fixtures, run the
+//! differential matrix, and drive the deterministic fuzzer.
+//!
+//! ```text
+//! cargo run -p bluefi-conformance --release -- regen
+//! cargo run -p bluefi-conformance --release -- check
+//! cargo run -p bluefi-conformance --release -- diff [--levels]
+//! cargo run -p bluefi-conformance --release -- fuzz [--iters N] [--seed0 S]
+//! cargo run -p bluefi-conformance --release -- fuzz --replay <seed>
+//! ```
+
+use bluefi_conformance::{golden, replay, run_fuzz, run_matrix, run_matrix_at_levels};
+
+const USAGE: &str = "usage: bluefi-conformance <regen|check|diff [--levels]|fuzz [--iters N] [--seed0 S] [--replay SEED]>";
+
+fn parse_flag(args: &[String], flag: &str) -> Result<Option<u64>, String> {
+    match args.iter().position(|a| a == flag) {
+        None => Ok(None),
+        Some(i) => args
+            .get(i + 1)
+            .ok_or_else(|| format!("{flag} needs a value"))?
+            .parse::<u64>()
+            .map(Some)
+            .map_err(|e| format!("{flag}: {e}")),
+    }
+}
+
+fn run() -> Result<i32, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let dir = golden::default_dir();
+    match args.first().map(String::as_str) {
+        Some("regen") => {
+            let written = golden::regen_all(&dir)?;
+            for p in &written {
+                println!("wrote {}", p.display());
+            }
+            println!("regenerated {} fixtures", written.len());
+            Ok(0)
+        }
+        Some("check") => {
+            let report = golden::check_all(&dir)?;
+            print!("{}", report.render());
+            Ok(if report.is_clean() { 0 } else { 1 })
+        }
+        Some("diff") => {
+            let report = if args.iter().any(|a| a == "--levels") {
+                run_matrix_at_levels()?
+            } else {
+                run_matrix()?
+            };
+            print!("{}", report.render());
+            Ok(if report.is_clean() { 0 } else { 1 })
+        }
+        Some("fuzz") => {
+            if let Some(seed) = parse_flag(&args, "--replay")? {
+                let report = replay(seed);
+                print!("{}", report.render());
+                return Ok(if report.is_clean() { 0 } else { 1 });
+            }
+            let iters = parse_flag(&args, "--iters")?.unwrap_or(1000) as usize;
+            let seed0 = parse_flag(&args, "--seed0")?.unwrap_or(0);
+            let report = run_fuzz(seed0, iters);
+            print!("{}", report.render());
+            Ok(if report.is_clean() { 0 } else { 1 })
+        }
+        _ => Err(USAGE.to_string()),
+    }
+}
+
+fn main() {
+    match run() {
+        Ok(code) => std::process::exit(code),
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! Fuzzer layer: budgeted smoke soak, replay determinism, and shrinker
+//! behaviour on the real invariant checker.
+
+use bluefi_conformance::fuzz::{run_one, Checks};
+use bluefi_conformance::{replay, run_fuzz, shrink, FuzzInput};
+
+#[test]
+fn budgeted_soak_finds_no_violations() {
+    // ~40 iterations keeps the debug-profile cost to a few seconds while
+    // still crossing the scratch-diff (every 4th) and receiver (every
+    // 8th) cadences several times.
+    let report = run_fuzz(0xB10E_F1, 40);
+    assert_eq!(report.iters, 40);
+    assert!(report.is_clean(), "{}", report.render());
+}
+
+#[test]
+fn replay_is_deterministic() {
+    for seed in [0u64, 3, 16, 999] {
+        let a = replay(seed);
+        let b = replay(seed);
+        assert_eq!(a.violations, b.violations, "seed {seed}");
+        assert_eq!(a.unplannable, b.unplannable, "seed {seed}");
+        assert_eq!(a.render(), b.render(), "seed {seed}");
+    }
+}
+
+#[test]
+fn replay_runs_every_check_a_soak_would() {
+    // Any seed a cadence-gated soak flags must also fail under replay;
+    // replay therefore runs with all checks on. Spot-check that the
+    // all-checks path agrees with itself and with the report.
+    let input = FuzzInput::generate(5);
+    let direct = run_one(&input, Checks::all());
+    let report = replay(5);
+    assert_eq!(direct.is_err(), !report.is_clean());
+}
+
+#[test]
+fn shrinker_minimizes_against_the_real_checker_shape() {
+    // Inject a structural predicate (a stand-in for a real failure that
+    // needs a long payload under the realtime strategy) and verify the
+    // minimum keeps exactly the failure-relevant structure.
+    let mut x = FuzzInput::generate(77);
+    x.realtime = true;
+    x.adv_len = 16;
+    let min = shrink(&x, &mut |c| c.realtime && c.adv_len >= 8);
+    assert!(min.realtime, "failure-relevant field must survive");
+    assert_eq!(min.adv_len, 8, "payload shrinks to the boundary");
+    assert_eq!(min.multipath, None);
+    assert_eq!(min.interference, None);
+    assert_eq!(min.cfo_hz, 0);
+    assert_eq!(min.payload_seed, 0);
+}

@@ -1,0 +1,110 @@
+//! Property tests for the radio channel model: the deterministic parts of
+//! [`bluefi_sim::channel::Channel::apply`] must be *exactly* what the
+//! config promises, and CFO must be a pure rotation.
+
+use bluefi_core::check::{check, vec_with};
+use bluefi_core::prop_assert;
+use bluefi_core::rng::{Rng, SeedableRng, StdRng};
+use bluefi_dsp::power::from_db;
+use bluefi_dsp::{cx, Cx};
+use bluefi_sim::channel::{Channel, ChannelConfig};
+
+fn samples(rng: &mut StdRng, len: std::ops::Range<usize>) -> Vec<Cx> {
+    vec_with(rng, len, |r| cx(r.gen_range(-2.0..2.0), r.gen_range(-2.0..2.0)))
+}
+
+/// A config with every random impairment off; only path loss remains.
+fn deterministic_config(distance_m: f64) -> ChannelConfig {
+    ChannelConfig {
+        distance_m,
+        shadowing_sigma_db: 0.0,
+        noise_floor_dbm: f64::NEG_INFINITY,
+        cfo_hz: 0.0,
+        multipath: None,
+        interference: None,
+        ..ChannelConfig::default()
+    }
+}
+
+#[test]
+fn cfo_rotation_preserves_per_sample_magnitude() {
+    check(
+        "cfo_rotation_preserves_per_sample_magnitude",
+        |rng| {
+            let cfg = ChannelConfig {
+                cfo_hz: rng.gen_range(-100e3..100e3),
+                ..deterministic_config(rng.gen_range(0.2..20.0))
+            };
+            (cfg, samples(rng, 1..300), rng.next_u64())
+        },
+        |(cfg, tx, seed)| {
+            let gain = from_db(-cfg.path_loss_db()).sqrt();
+            let rx = Channel::new(cfg.clone()).apply(tx, &mut StdRng::seed_from_u64(*seed));
+            prop_assert!(rx.len() == tx.len(), "length changed: {} -> {}", tx.len(), rx.len());
+            for (n, (a, b)) in tx.iter().zip(&rx).enumerate() {
+                let want = a.abs() * gain;
+                let got = b.abs();
+                prop_assert!(
+                    (want - got).abs() <= 1e-9 * want.max(1e-12),
+                    "sample {n}: |rx| {got} vs |tx|·gain {want}"
+                );
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn zero_impairment_channel_is_exactly_scaled_identity() {
+    check(
+        "zero_impairment_channel_is_exactly_scaled_identity",
+        |rng| (deterministic_config(1.0), samples(rng, 1..300), rng.next_u64()),
+        |(cfg, tx, seed)| {
+            // With shadowing sigma 0, −∞ noise floor, zero CFO and no
+            // multipath/interference, every arithmetic step is exact:
+            // 0·normal = 0, rotate(0) = ×(1, 0), AWGN sigma = 0. The
+            // output must equal the input times the known path-loss
+            // scalar, to the last bit of float equality.
+            let gain = from_db(-cfg.path_loss_db()).sqrt();
+            let rx = Channel::new(cfg.clone()).apply(tx, &mut StdRng::seed_from_u64(*seed));
+            prop_assert!(rx.len() == tx.len(), "length changed");
+            for (n, (a, b)) in tx.iter().zip(&rx).enumerate() {
+                let want = a.scale(gain);
+                prop_assert!(
+                    want.re == b.re && want.im == b.im,
+                    "sample {n}: {b:?} != {want:?} (gain {gain})"
+                );
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn zero_amplitude_second_ray_is_identity() {
+    check(
+        "zero_amplitude_second_ray_is_identity",
+        |rng| {
+            let cfg = ChannelConfig {
+                multipath: Some((rng.gen_range(1usize..16), 0.0)),
+                ..deterministic_config(rng.gen_range(0.5..5.0))
+            };
+            (cfg, samples(rng, 20..300), rng.next_u64())
+        },
+        |(cfg, tx, seed)| {
+            // A second ray with amplitude 0 contributes ±0.0 to every
+            // sample; adding that never changes the value under float
+            // equality, so the output matches the no-multipath channel.
+            let gain = from_db(-cfg.path_loss_db()).sqrt();
+            let rx = Channel::new(cfg.clone()).apply(tx, &mut StdRng::seed_from_u64(*seed));
+            for (n, (a, b)) in tx.iter().zip(&rx).enumerate() {
+                let want = a.scale(gain);
+                prop_assert!(
+                    want.re == b.re && want.im == b.im,
+                    "sample {n}: {b:?} != {want:?}"
+                );
+            }
+            Ok(())
+        },
+    );
+}

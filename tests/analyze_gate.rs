@@ -33,10 +33,13 @@ fn gate_actually_scanned_the_tree() {
         "only {} source files scanned — path walk broken?",
         report.files_scanned
     );
-    assert!(
-        report.manifests_scanned >= 10,
-        "only {} manifests scanned",
-        report.manifests_scanned
+    // Exact count: nine library/app crates + bluefi-conformance + the root
+    // package. A new crate must bump this, keeping R3's hermetic-manifest
+    // rule covering the whole tree.
+    assert_eq!(
+        report.manifests_scanned, 11,
+        "manifest count drifted — did a crate join or leave the workspace \
+         without updating the R3 gate?"
     );
 }
 

@@ -1,0 +1,25 @@
+//! Tier-1 conformance smoke: every `cargo test -q` run exercises all
+//! three layers of the conformance subsystem — committed golden fixtures,
+//! the differential execution-path matrix, and a budgeted fuzz soak.
+
+use bluefi_conformance::golden::{check_all, default_dir};
+use bluefi_conformance::{run_fuzz, run_matrix};
+
+#[test]
+fn golden_fixtures_have_not_drifted() {
+    let report = check_all(&default_dir()).expect("fixtures readable — run `cargo run -p bluefi-conformance -- regen` after an intentional change");
+    assert!(report.is_clean(), "{}", report.render());
+}
+
+#[test]
+fn execution_paths_agree_bit_for_bit() {
+    let report = run_matrix().expect("matrix runs");
+    assert!(report.is_clean(), "{}", report.render());
+}
+
+#[test]
+fn hundred_iteration_fuzz_budget_is_clean() {
+    let report = run_fuzz(1, 100);
+    assert_eq!(report.iters, 100);
+    assert!(report.is_clean(), "{}", report.render());
+}

