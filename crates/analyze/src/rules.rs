@@ -259,15 +259,18 @@ fn is_float_token(tok: &str) -> bool {
 
 /// R6 — per-iteration allocation in hot-path loops.
 ///
-/// Flags `FftPlan::new(`, `Vec::with_capacity(` and `vec![` on lines inside
-/// a `for`/`while` body (tracked by brace depth from the loop header) —
-/// those allocations repeat every iteration; hoist them, use the size-keyed
-/// plan cache (`fft_plan`), or reuse a scratch buffer via
-/// `contracts::ensure_len`. Loop *headers* are exempt (they evaluate once
-/// for `for`), as is test code; the escape hatch is
-/// `// lint: allow(r6) <reason>`.
+/// Flags `FftPlan::new(`, `Vec::with_capacity(`, `vec![`, `Box::new(` and
+/// `.to_vec()` on lines inside a `for`/`while` body (tracked by brace depth
+/// from the loop header) — those allocations repeat every iteration; hoist
+/// them, use a size-keyed plan cache (`fft_plan`, `trellis_plan`), or reuse
+/// a scratch buffer via `contracts::ensure_len`. The boxed-slice needles
+/// exist for the trellis/traceback modules, whose scratch state lives in
+/// `Box<[T; N]>` arrays that must be built once per scratch, never per
+/// decode step. Loop *headers* are exempt (they evaluate once for `for`),
+/// as is test code; the escape hatch is `// lint: allow(r6) <reason>`.
 pub fn r6_no_hot_loop_alloc(file: &SourceFile) -> Vec<Diagnostic> {
-    const NEEDLES: [&str; 3] = ["FftPlan::new(", "Vec::with_capacity(", "vec!["];
+    const NEEDLES: [&str; 5] =
+        ["FftPlan::new(", "Vec::with_capacity(", "vec![", "Box::new(", ".to_vec()"];
     let mut out = Vec::new();
     let mut depth = 0i64;
     // Brace depth of each currently-open for/while body.

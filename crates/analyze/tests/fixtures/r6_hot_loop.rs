@@ -30,6 +30,18 @@ fn headers_are_exempt() {
     drop(after);
 }
 
+fn trellis_style_boxed_state(steps: &[u8]) {
+    let hoisted = Box::new([0u64; 64]); // once per scratch: fine
+    let mut survivors = steps.to_vec(); // hoisted copy: fine
+    for &s in steps {
+        let per_step = Box::new([s as u64; 64]); // FLAGGED (line 37)
+        let copied = survivors.to_vec(); // FLAGGED (line 38)
+        survivors.push(s);
+        drop((per_step, copied));
+    }
+    drop(hoisted);
+}
+
 #[cfg(test)]
 mod tests {
     fn test_code_is_exempt() {

@@ -37,6 +37,23 @@ fn runtime_profile_emits_valid_report() {
         let v = single.get(key).and_then(Json::as_f64).expect(key);
         assert!(v.is_finite() && v > 0.0, "{key} = {v}");
     }
+    // Cold trials must cycle distinct payloads (the decode memo would
+    // otherwise turn the latency loop into a memo benchmark).
+    assert!(
+        single.get("distinct_payloads").and_then(Json::as_f64).unwrap_or(0.0) >= 2.0,
+        "latency loop must cycle distinct payloads"
+    );
+
+    // The memoized repeat-packet path is measured separately, and with an
+    // unchanged payload every trial must hit the memo.
+    let repeat = report.get("repeat_packet").expect("repeat_packet section");
+    let rep_mean = repeat.get("mean_us").and_then(Json::as_f64).expect("mean_us");
+    assert!(rep_mean.is_finite() && rep_mean > 0.0);
+    assert_eq!(
+        repeat.get("memo_hits").and_then(Json::as_f64),
+        Some(2.0),
+        "every repeat trial must be served from the decode memo"
+    );
 
     // This test binary is a debug+contracts build, so the probe must be
     // live and the steady state must be allocation-free.
@@ -50,28 +67,39 @@ fn runtime_profile_emits_valid_report() {
     );
     assert!(allocs.get("warmup").and_then(Json::as_f64).unwrap_or(0.0) > 0.0);
 
-    // Batch section: every thread config reports a finite throughput, and
-    // the parallel results matched the sequential reference bit-for-bit.
+    // Batch section: every thread config reports a finite throughput, the
+    // ladder carries no duplicate rungs (clamping is recorded, not
+    // silently re-benched), and the parallel results matched the
+    // sequential reference bit-for-bit.
     let batch = report.get("batch").expect("batch section");
     assert_eq!(batch.get("bit_exact").and_then(Json::as_bool), Some(true));
+    assert!(batch.get("ladder_clamped").and_then(Json::as_bool).is_some());
     let threads = batch.get("threads").and_then(Json::as_arr).expect("threads array");
     assert!(!threads.is_empty());
+    let mut seen_workers = Vec::new();
     for t in threads {
-        assert!(t.get("workers").and_then(Json::as_f64).unwrap_or(0.0) >= 1.0);
+        let w = t.get("workers").and_then(Json::as_f64).unwrap_or(0.0);
+        assert!(w >= 1.0);
+        assert!(!seen_workers.contains(&(w as u64)), "duplicate ladder rung at {w} workers");
+        seen_workers.push(w as u64);
         let pps = t.get("packets_per_s").and_then(Json::as_f64).expect("packets_per_s");
         assert!(pps.is_finite() && pps > 0.0);
     }
 
-    // Per-stage breakdown: every pipeline phase plus the end-to-end total,
-    // each covering exactly the timed trials, with a sane share of wall
-    // time; the phase totals cannot exceed the end-to-end total.
+    // Per-stage breakdown: the enclosing synthesize span lives in its own
+    // `total` field (NOT inside per_stage — summing per_stage shares must
+    // not double-count the parent), every child phase covers exactly the
+    // timed trials, and the child shares sum to ≤100%.
     let per_stage = report.get("per_stage").expect("per_stage section");
-    let total_ms = per_stage
-        .get("synthesize")
-        .and_then(|s| s.get("total_ms"))
-        .and_then(Json::as_f64)
-        .expect("synthesize total");
-    for stage in PHASES.iter().chain(["synthesize"].iter()) {
+    assert!(
+        per_stage.get("synthesize").is_none(),
+        "parent span must not sit inside per_stage"
+    );
+    let total = report.get("total").expect("total section");
+    let total_ms = total.get("total_ms").and_then(Json::as_f64).expect("synthesize total");
+    assert_eq!(total.get("count").and_then(Json::as_f64), Some(2.0));
+    let mut share_sum = 0.0;
+    for stage in PHASES {
         let s = per_stage.get(stage).unwrap_or_else(|| panic!("missing stage {stage}"));
         assert_eq!(s.get("count").and_then(Json::as_f64), Some(2.0), "{stage}");
         for key in ["mean_us", "p50_us", "p90_us", "total_ms", "share_pct"] {
@@ -80,11 +108,22 @@ fn runtime_profile_emits_valid_report() {
         }
         let share = s.get("share_pct").and_then(Json::as_f64).expect("share");
         assert!(share <= 100.0 + 1e-9, "{stage} share {share}");
+        share_sum += share;
         assert!(
             s.get("total_ms").and_then(Json::as_f64).expect("total") <= total_ms + 1e-9,
             "{stage} exceeds the end-to-end total"
         );
+        // The percentile fix: interpolated p50 can no longer exceed the
+        // bucket ceiling artifactually; it must stay within the envelope
+        // implied by mean and p90.
+        let p50 = s.get("p50_us").and_then(Json::as_f64).expect("p50");
+        let p90 = s.get("p90_us").and_then(Json::as_f64).expect("p90");
+        assert!(p50 <= p90 + 1e-9, "{stage}: p50 {p50} > p90 {p90}");
     }
+    assert!(
+        share_sum <= 100.0 + 1e-6,
+        "child stage shares sum to {share_sum}% (> 100%)"
+    );
 
     // Telemetry section: recording was live and allocation-free both ways.
     let tel = report.get("telemetry").expect("telemetry section");

@@ -76,6 +76,7 @@ pub fn decode15_10(block: &[bool]) -> (Vec<bool>, BlockStatus) {
     // Single-error syndromes: flipping position p yields the syndrome of
     // the unit vector at p. Precompute by running a unit vector through the
     // same division. 15 candidates; tiny, so compute inline.
+    let mut hit = None;
     for p in 0..15 {
         let mut r: u16 = 0;
         for i in 0..15 {
@@ -86,10 +87,17 @@ pub fn decode15_10(block: &[bool]) -> (Vec<bool>, BlockStatus) {
             }
         }
         if r == reg {
-            let mut fixed = block.to_vec();
-            fixed[p] = !fixed[p];
-            return (fixed[..10].to_vec(), BlockStatus::Corrected);
+            hit = Some(p);
+            break;
         }
+    }
+    if let Some(p) = hit {
+        // A parity-position error (p >= 10) leaves the data bits intact.
+        let mut data = block[..10].to_vec();
+        if p < 10 {
+            data[p] = !data[p];
+        }
+        return (data, BlockStatus::Corrected);
     }
     (block[..10].to_vec(), BlockStatus::Failed)
 }

@@ -10,6 +10,9 @@
 //!   depuncturing.
 //! * [`viterbi`] — weighted hard-decision Viterbi decoding (BlueFi's
 //!   "important bits must not flip" reversal, paper Sec 2.7).
+//! * [`trellis`] — the bit-packed branchless engine behind [`viterbi`]:
+//!   interned per-(rate, length) trellis plans, u64 survivor words, and a
+//!   branchless add–compare–select kernel.
 //! * [`realtime`] — the O(T) exact-constraint decoder at rate 2/3 used for
 //!   real-time packet generation (paper Sec 2.7 / 4.8).
 //! * [`crc`] — Bluetooth HEC-8, CRC-16 and BLE CRC-24.
@@ -26,9 +29,11 @@ pub mod hamming;
 pub mod lfsr;
 pub mod puncture;
 pub mod realtime;
+pub mod trellis;
 pub mod viterbi;
 
 pub use convolutional::ConvEncoder;
 pub use puncture::CodeRate;
 pub use realtime::{FreeEdge, RealtimeDecoder};
+pub use trellis::{trellis_plan, TrellisPlan};
 pub use viterbi::ViterbiScratch;

@@ -33,8 +33,10 @@
 //! zero initial state makes a few early equations degenerate (at stream
 //! start `A₀ = B₀ = d₀`, so no mask can pin both).
 
-use crate::convolutional::{encode_r12, G0, G1};
-use crate::puncture::{puncture, CodeRate};
+use crate::convolutional::{encode_r12, encode_r12_into, G0, G1};
+use crate::puncture::{puncture, puncture_into, CodeRate};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Which edge of each 13-bit interleaver cycle is sacrificial.
 ///
@@ -44,7 +46,7 @@ use crate::puncture::{puncture, CodeRate};
 /// flips only at the cycle *front* confines them to negative subcarriers
 /// (use when the Bluetooth signal sits at a positive frequency offset);
 /// flips only at the cycle *back* confines them to positive subcarriers.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FreeEdge {
     /// Flips allowed at the front of each cycle (subcarriers ≈ −28..−8);
     /// protects the positive half of the band.
@@ -154,9 +156,8 @@ pub fn protected_mask(n_tx: usize, edge: FreeEdge) -> Vec<bool> {
     // causes quadratic fill-in.
     let asc = edge == FreeEdge::Front;
     for phase in 0..=5 {
-        let order: Box<dyn Iterator<Item = usize>> =
-            if asc { Box::new(0..n_tx) } else { Box::new((0..n_tx).rev()) };
-        for t in order {
+        for i in 0..n_tx {
+            let t = if asc { i } else { n_tx - 1 - i };
             if phase_of(t) != phase || mask[t] {
                 continue;
             }
@@ -431,11 +432,35 @@ impl RealtimePlan {
         &self.mask
     }
 
-    /// Decodes a target coded stream (length must equal the plan's).
+    /// Decodes a target coded stream (length must equal the plan's). Thin
+    /// shim over [`RealtimePlan::decode_into`]; hot paths should hold a
+    /// [`RealtimeScratch`].
     pub fn decode(&self, target: &[bool]) -> RealtimeDecode {
+        let mut scratch = RealtimeScratch::new();
+        let mut decoded = Vec::new();
+        let mut flips = Vec::new();
+        self.decode_into(target, &mut scratch, &mut decoded, &mut flips);
+        RealtimeDecode { decoded, flips }
+    }
+
+    /// Scratch-buffer variant of [`RealtimePlan::decode`]: replays the
+    /// recorded elimination against `target`, writing the recovered
+    /// information bits into `decoded` (resized to `2·n_tx/3`) and the
+    /// mismatching transmitted positions into `flips` (cleared first).
+    /// Allocation-free at steady state: only buffer growth allocates.
+    pub fn decode_into(
+        &self,
+        target: &[bool],
+        scratch: &mut RealtimeScratch,
+        decoded: &mut Vec<bool>,
+        flips: &mut Vec<usize>,
+    ) {
         assert_eq!(target.len(), self.n_tx, "target length must match the plan");
-        // Phase 1: propagate right-hand sides along the recorded reductions.
-        let mut rhs = vec![false; self.rows.len()];
+        // Phase 1: propagate right-hand sides along the recorded reductions
+        // (rhs_deps only reference earlier rows, so one forward pass fills
+        // the whole vector).
+        let rhs = &mut scratch.rhs;
+        bluefi_dsp::contracts::ensure_len(rhs, self.rows.len(), false);
         for (i, row) in self.rows.iter().enumerate() {
             let mut v = target[row.t as usize];
             for &d in &row.rhs_deps {
@@ -443,29 +468,82 @@ impl RealtimePlan {
             }
             rhs[i] = v;
         }
-        // Phase 2: substitution in pivot order.
-        let mut values = vec![false; self.n_in];
+        // Phase 2: substitution in pivot order. Free unknowns default to 0.
+        bluefi_dsp::contracts::ensure_len(decoded, self.n_in, false);
+        decoded.fill(false);
         for &ri in &self.sub_order {
             let row = &self.rows[ri as usize];
             let mut v = rhs[ri as usize];
             for &u in &row.unknowns {
                 if u != row.pivot {
-                    v ^= values[u as usize];
+                    v ^= decoded[u as usize];
                 }
             }
-            values[row.pivot as usize] = v;
+            decoded[row.pivot as usize] = v;
         }
-        // Verify and collect flips.
-        let re = puncture(CodeRate::R23, &encode_r12(&values));
-        let mut flips = Vec::new();
-        for t in 0..self.n_tx {
-            if re[t] != target[t] {
+        // Verify and collect flips through the scratch re-encode buffers.
+        encode_r12_into(decoded, &mut scratch.reenc_mother);
+        puncture_into(CodeRate::R23, &scratch.reenc_mother, &mut scratch.reenc_punct);
+        debug_assert_eq!(scratch.reenc_punct.len(), self.n_tx);
+        let cap = flips.capacity();
+        flips.clear();
+        for (t, (a, b)) in scratch.reenc_punct.iter().zip(target).enumerate() {
+            if a != b {
                 debug_assert!(!self.mask[t], "protected bit {t} flipped");
                 flips.push(t);
             }
         }
-        RealtimeDecode { decoded: values, flips }
+        if flips.capacity() > cap {
+            bluefi_dsp::contracts::probe_alloc();
+        }
     }
+}
+
+/// Reusable buffers for [`RealtimePlan::decode_into`]: the RHS propagation
+/// vector and the re-encode verification buffers. One per worker thread,
+/// never shared; buffers grow to the largest plan replayed and are then
+/// reused allocation-free.
+#[derive(Debug, Clone, Default)]
+pub struct RealtimeScratch {
+    rhs: Vec<bool>,
+    reenc_mother: Vec<bool>,
+    reenc_punct: Vec<bool>,
+}
+
+impl RealtimeScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> RealtimeScratch {
+        RealtimeScratch::default()
+    }
+}
+
+type RealtimePlanCache = Mutex<HashMap<(usize, FreeEdge), Arc<RealtimePlan>>>;
+
+fn plan_cache() -> &'static RealtimePlanCache {
+    static CACHE: OnceLock<RealtimePlanCache> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Returns the interned elimination plan for a `(length, edge)` pair. The
+/// plan is target-independent (see [`RealtimePlan`]), so real-time packet
+/// generation pays the symbolic elimination once per packet geometry — this
+/// is what keeps per-packet decode time below the 1.25 ms slot interval
+/// (paper Sec 4.8). Construction happens under the intern lock, so
+/// concurrent first-users of one key all receive the same `Arc`; plans are
+/// never evicted.
+pub fn realtime_plan(n_tx: usize, edge: FreeEdge) -> Arc<RealtimePlan> {
+    // A poisoned lock only means another thread panicked mid-insert; the
+    // map is still structurally sound, so recover rather than propagate.
+    let mut map = plan_cache().lock().unwrap_or_else(|p| p.into_inner());
+    Arc::clone(
+        map.entry((n_tx, edge))
+            .or_insert_with(|| Arc::new(RealtimePlan::new(n_tx, edge))),
+    )
+}
+
+/// Number of real-time plans currently interned (observability/test hook).
+pub fn interned_realtime_plan_count() -> usize {
+    plan_cache().lock().unwrap_or_else(|p| p.into_inner()).len()
 }
 
 #[cfg(test)]

@@ -1,0 +1,635 @@
+//! Bit-packed, branchless trellis engine for the weighted Viterbi
+//! (paper Sec 2.7; the `fec_reversal` hot spot of ROADMAP open item 1).
+//!
+//! The scalar reference decoder in [`crate::viterbi`] walks an enum-typed
+//! depunctured stream ([`crate::puncture::RxBit`]) and branches per
+//! transition — for a BlueFi packet that is ~3.5 million data-dependent
+//! branches over a 400 KB intermediate buffer, and it is why the stage
+//! dominated the packet budget. This module replaces the inner loop with
+//! three structural changes, none of which alters a single output bit:
+//!
+//! * **Interned trellis plans** — the per-`(rate, length)` walk structure
+//!   (keep flags and transmitted-bit offsets per trellis step, expanded
+//!   from the cyclic puncturing pattern) is built once and cached forever
+//!   in a process-wide intern table, the same idiom as the FFT plan cache
+//!   (`dsp::fft::fft_plan`). The decode kernel indexes the punctured
+//!   stream directly; no depunctured `RxBit` buffer exists at all.
+//! * **Branchless add–compare–select** — path metrics live in two flat
+//!   `[u64; 64]` columns swept as 32 butterflies per step (destination
+//!   states `j` and `j + 32` share the same two predecessors, so each
+//!   metric word is loaded once). The branch metric collapses to a
+//!   4-entry table indexed by the 2-bit transition output code
+//!   `(A << 1) | B`, so the kernel contains no data-dependent branches:
+//!   compare, select, accumulate.
+//! * **Bit-packed survivors** — one decision bit per destination state
+//!   packs a whole trellis column into a single `u64`: 8 bytes per step
+//!   instead of the scalar decoder's 64-byte `[u8; 64]` column, an 8×
+//!   cut in survivor-memory traffic (a BlueFi packet's survivor history
+//!   drops from ~1.7 MB to ~210 KB). Traceback walks the packed words
+//!   directly: the decision bit *is* the predecessor's low state bit.
+//!
+//! ## Bit-exactness proof obligations
+//!
+//! The packed engine must reproduce the scalar reference decoder bit for
+//! bit (the conformance golden vectors and differential matrix were built
+//! to hold this rewrite to account). The load-bearing equivalences:
+//!
+//! 1. **Tie-breaks select the even predecessor.** The scalar decoder
+//!    visits predecessors in ascending state order and replaces only on
+//!    strictly smaller metric, so the even predecessor wins ties; the
+//!    packed select uses `m_odd < m_even` for the same effect.
+//! 2. **The final-state argmin selects the lowest state index.** The
+//!    scalar `min_by_key` returns the first minimum; the packed scan
+//!    ascends with a strict compare.
+//! 3. **Sentinel-rooted metrics never win.** The scalar decoder skips
+//!    states with metric ≥ [`INF`]; the packed sweep instead lets
+//!    sentinel-rooted metrics participate, which is safe because state 0
+//!    reaches every state within `MEMORY = 6` steps, after which no
+//!    sentinel-rooted cell remains — and while they exist they sit at
+//!    least `INF` above any reachable metric (a reachable metric is
+//!    bounded by the total mismatch budget `Σ weights < INF`), so every
+//!    compare resolves exactly as the scalar skip would. (Survivor bits
+//!    of unreachable states may differ, but traceback only visits states
+//!    on the winning — reachable — path.)
+//! 4. **No overflow.** During the ≤ 6 sentinel-decay steps a metric is at
+//!    most `INF + 6 · 2 · u32::MAX`, far below the `u64` wrap point for
+//!    `INF = u64::MAX / 4`; afterwards metrics are bounded by the budget.
+//!    The narrow `u32` kernel is dispatched only when the budget is ≤
+//!    [`SMALL_METRIC_BOUND`], which bounds its worst transient below
+//!    `u32::MAX` the same way (see [`INF32`]).
+
+use crate::convolutional::{G0, G1, NUM_STATES};
+use crate::puncture::CodeRate;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// The "unreachable" path metric sentinel, shared with the scalar
+/// reference decoder so both engines agree on which states are live.
+pub const INF: u64 = u64::MAX / 4;
+
+/// Sentinel for the narrow (`u32`) metric kernel. With a total mismatch
+/// budget of at most [`SMALL_METRIC_BOUND`] = 2²⁶, the worst transient
+/// metric during the 6 sentinel-decay steps is bounded by
+/// `2³⁰ + 6 · 2 · 2²⁶ < 2³¹`, so narrow metrics never wrap **and** stay
+/// inside the signed-compare range SIMD units prefer.
+const INF32: u32 = 1 << 30;
+
+/// Largest total mismatch budget (Σ per-transmitted-bit weights, or the
+/// transmitted length when unweighted) for which the `u32` kernel is
+/// provably overflow-free. The BlueFi hot path (Table-1 confidence
+/// weights over a 32 760-bit symbol payload) sums to ~5.6 M ≪ 2²⁶, so
+/// packet decodes never need the wide kernel.
+const SMALL_METRIC_BOUND: u64 = 1 << 26;
+
+/// Sentinel for the `u16` renormalizing kernel; see
+/// [`SMALL_WEIGHT_BOUND`] for the bounds that make it exact.
+const INF16: u16 = 16_000;
+
+/// Largest single mismatch weight for which the `u16` kernel is provably
+/// exact. Unlike the wider kernels it bounds the *per-step* cost, not the
+/// total budget, because the kernel renormalizes: every
+/// [`RENORM_INTERVAL`] steps it subtracts the minimum metric from every
+/// state, which shifts all metrics by a common constant and therefore
+/// changes **no** comparison, survivor bit, or argmin — only the stored
+/// representation. The bounds, with `tot ≤ 2 · SMALL_WEIGHT_BOUND = 2330`
+/// the worst per-step cost:
+///
+/// * **Spread.** Any state is reachable from any state in `MEMORY = 6`
+///   steps (the state register is the last 6 inputs), so every reachable
+///   metric sits within `6 · tot` of the minimum.
+/// * **Sentinels.** No renormalization happens before step 8, so while
+///   sentinel-rooted cells exist (the first 6 steps) they hold at least
+///   `INF16 = 16 000`, strictly above any reachable metric
+///   (`≤ 6 · tot = 13 980`) — identical decisions to the wide kernels —
+///   and at most `INF16 + 6 · tot = 29 980 < i16::MAX`.
+/// * **No overflow.** After a renormalization the minimum is 0; within
+///   the next 8 steps the minimum grows by at most `8 · tot`, so every
+///   compared value is at most `(8 + 6) · tot = 32 620 < i16::MAX` —
+///   no wrap, and signed 8-lane SIMD compares are exact.
+const SMALL_WEIGHT_BOUND: u32 = 1_165;
+
+/// Steps between `u16`-kernel renormalizations (a power of two so the
+/// check is a mask test). Must stay ≥ `MEMORY + 1` (sentinels must be
+/// gone before the first subtraction) and small enough for the overflow
+/// bound above.
+const RENORM_INTERVAL: usize = 8;
+
+/// `ABIT[j]` / `BBIT[j]`: the A / B output bit of the edge arriving at
+/// destination `j` from its **even** predecessor — the one branch cost
+/// the symmetry-folded kernel computes per butterfly (every other branch
+/// cost is its complement; see the `acs_kernel` docs).
+const ABIT: [bool; NUM_STATES / 2] = {
+    let mut a = [false; NUM_STATES / 2];
+    let mut j = 0;
+    while j < NUM_STATES / 2 {
+        a[j] = CODES[0][j] & 2 != 0;
+        j += 1;
+    }
+    a
+};
+
+/// See [`ABIT`].
+const BBIT: [bool; NUM_STATES / 2] = {
+    let mut b = [false; NUM_STATES / 2];
+    let mut j = 0;
+    while j < NUM_STATES / 2 {
+        b[j] = CODES[0][j] & 1 != 0;
+        j += 1;
+    }
+    b
+};
+
+/// [`ABIT`]/[`BBIT`] widened to all-ones/all-zeros lane masks, so the
+/// branch cost becomes pure mask arithmetic (`weight & (MASK ^ target)`)
+/// instead of a lane select — constant vectors after vectorization.
+macro_rules! bit_masks {
+    ($bits:expr, $ty:ty) => {{
+        let mut m = [0 as $ty; NUM_STATES / 2];
+        let mut j = 0;
+        while j < NUM_STATES / 2 {
+            m[j] = if $bits[j] { <$ty>::MAX } else { 0 };
+            j += 1;
+        }
+        m
+    }};
+}
+const AMASK64: [u64; NUM_STATES / 2] = bit_masks!(ABIT, u64);
+const BMASK64: [u64; NUM_STATES / 2] = bit_masks!(BBIT, u64);
+const AMASK32: [u32; NUM_STATES / 2] = bit_masks!(ABIT, u32);
+const BMASK32: [u32; NUM_STATES / 2] = bit_masks!(BBIT, u32);
+const AMASK16: [u16; NUM_STATES / 2] = bit_masks!(ABIT, u16);
+const BMASK16: [u16; NUM_STATES / 2] = bit_masks!(BBIT, u16);
+
+/// `LANE_BIT[j] = 1 << j`: the survivor-word bit a butterfly's decision
+/// occupies, as a constant table so the take-bit packing is a lane-masked
+/// OR reduction the vectorizer folds, not 64 serial shift-or pairs.
+const LANE_BIT: [u32; NUM_STATES / 2] = {
+    let mut t = [0u32; NUM_STATES / 2];
+    let mut j = 0;
+    while j < NUM_STATES / 2 {
+        t[j] = 1 << j;
+        j += 1;
+    }
+    t
+};
+
+/// Parity of the set bits of `v` (const-evaluable).
+const fn parity_bit(v: u8) -> u8 {
+    (v.count_ones() & 1) as u8
+}
+
+/// The 2-bit transition output code `(A << 1) | B` for a (state, input)
+/// trellis edge — the packed form of `convolutional::transition_output`.
+const fn out_code(state: u8, input: u8) -> u8 {
+    let window = (input << 6) | state;
+    (parity_bit(window & G0) << 1) | parity_bit(window & G1)
+}
+
+/// Per-destination-state transition output codes: `CODES[0][ns]` is the
+/// code of the edge arriving from the even predecessor `(ns & 31) << 1`,
+/// `CODES[1][ns]` from the odd predecessor. Destination `ns`'s input bit
+/// is `ns >> 5` (the most-recent-input slot of the state register).
+const CODES: [[u8; NUM_STATES]; 2] = {
+    let mut c = [[0u8; NUM_STATES]; 2];
+    let mut ns = 0;
+    while ns < NUM_STATES {
+        let input = (ns >> 5) as u8;
+        let even = ((ns & 31) << 1) as u8;
+        c[0][ns] = out_code(even, input);
+        c[1][ns] = out_code(even | 1, input);
+        ns += 1;
+    }
+    c
+};
+
+/// Reusable state for the packed decoder: two path-metric columns and the
+/// bit-packed survivor history. One per worker thread, never shared; the
+/// survivor buffer grows to the longest stream decoded and is then reused
+/// allocation-free.
+#[derive(Debug, Clone)]
+pub struct PackedScratch {
+    /// Current-step path metrics for the wide kernel, one `u64` per state.
+    cur: Box<[u64; NUM_STATES]>,
+    /// Next-step path metrics (ping-pongs with `cur` by pointer swap).
+    nxt: Box<[u64; NUM_STATES]>,
+    /// Metric columns for the narrow (`u32`) kernel — see
+    /// [`SMALL_METRIC_BOUND`] for when it is provably safe to use.
+    cur32: Box<[u32; NUM_STATES]>,
+    nxt32: Box<[u32; NUM_STATES]>,
+    /// Metric columns for the renormalizing `u16` kernel — see
+    /// [`SMALL_WEIGHT_BOUND`].
+    cur16: Box<[u16; NUM_STATES]>,
+    nxt16: Box<[u16; NUM_STATES]>,
+    /// `survivors[t]` bit `s` = the ACS decision at step `t` for
+    /// destination state `s`: 0 selects the even predecessor, 1 the odd.
+    survivors: Vec<u64>,
+}
+
+impl Default for PackedScratch {
+    fn default() -> PackedScratch {
+        PackedScratch::new()
+    }
+}
+
+impl PackedScratch {
+    /// An empty scratch; the survivor history grows on first use.
+    pub fn new() -> PackedScratch {
+        PackedScratch {
+            cur: Box::new([INF; NUM_STATES]),
+            nxt: Box::new([INF; NUM_STATES]),
+            cur32: Box::new([INF32; NUM_STATES]),
+            nxt32: Box::new([INF32; NUM_STATES]),
+            cur16: Box::new([INF16; NUM_STATES]),
+            nxt16: Box::new([INF16; NUM_STATES]),
+            survivors: Vec::new(),
+        }
+    }
+}
+
+/// A precomputed trellis-walk plan for one `(rate, transmitted-length)`
+/// pair: per-step keep flags and transmitted-bit offsets expanded from
+/// the cyclic puncturing pattern, so the decode kernel reads the
+/// punctured target stream in place.
+///
+/// Plans are target-independent — they depend only on the code structure
+/// — so they are interned process-wide by [`trellis_plan`] and shared by
+/// every worker thread.
+#[derive(Debug)]
+pub struct TrellisPlan {
+    rate: CodeRate,
+    n_tx: usize,
+    steps: usize,
+    /// Packed per-step descriptor: bit 0 = A transmitted, bit 1 = B
+    /// transmitted, bits 2.. = offset of the step's first transmitted bit
+    /// in the punctured stream.
+    step_desc: Vec<u32>,
+}
+
+impl TrellisPlan {
+    /// Builds the plan for decoding `n_tx` transmitted bits at `rate`.
+    /// `n_tx` must be a whole number of puncturing periods. Prefer the
+    /// interned [`trellis_plan`] on hot paths.
+    pub fn new(rate: CodeRate, n_tx: usize) -> TrellisPlan {
+        let steps = rate.n_inputs(n_tx);
+        let (ka, kb) = rate.pattern();
+        let period = ka.len();
+        let mut step_desc = Vec::with_capacity(steps);
+        let mut off: u32 = 0;
+        for t in 0..steps {
+            let ph = t % period;
+            let a = ka[ph] as u32;
+            let b = kb[ph] as u32;
+            step_desc.push((off << 2) | (b << 1) | a);
+            off += a + b;
+        }
+        debug_assert_eq!(off as usize, n_tx);
+        TrellisPlan { rate, n_tx, steps, step_desc }
+    }
+
+    /// The code rate the plan was built for.
+    pub fn rate(&self) -> CodeRate {
+        self.rate
+    }
+
+    /// Transmitted (punctured) bits per decode.
+    pub fn n_tx(&self) -> usize {
+        self.n_tx
+    }
+
+    /// Trellis steps (= information bits recovered) per decode.
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+
+    /// Decodes the punctured `target` stream into `out` (resized to one
+    /// bit per trellis step), with optional per-transmitted-bit mismatch
+    /// weights (missing weights default to 1) — bit-identical to
+    /// depuncturing and running the scalar reference decoder. When
+    /// `terminate` is true the survivor must end in state 0.
+    ///
+    /// The weight magnitudes pick the metric width: per-bit weights up to
+    /// [`SMALL_WEIGHT_BOUND`] run the renormalizing `u16` kernel (8 SIMD
+    /// lanes), total budgets up to [`SMALL_METRIC_BOUND`] the `u32`
+    /// kernel (4 lanes), anything larger the wide `u64` kernel. All three
+    /// produce identical survivor decisions — narrower kernels hold the
+    /// same integers (up to the comparison-preserving renormalization
+    /// offset), just stored smaller — so the choice is invisible in the
+    /// output.
+    ///
+    /// Allocation-free at steady state: only `scratch` / `out` growth
+    /// allocates.
+    pub fn decode_into(
+        &self,
+        target: &[bool],
+        weights: Option<&[u32]>,
+        terminate: bool,
+        scratch: &mut PackedScratch,
+        out: &mut Vec<bool>,
+    ) {
+        assert_eq!(target.len(), self.n_tx, "target length must match the plan");
+        bluefi_dsp::contracts::ensure_len(out, self.steps, false);
+        if self.steps == 0 {
+            return;
+        }
+        bluefi_dsp::contracts::ensure_len(&mut scratch.survivors, self.steps, 0u64);
+        let (w_max, budget): (u32, u64) = match weights {
+            Some(w) => {
+                assert_eq!(w.len(), target.len(), "one weight per transmitted bit");
+                (w.iter().copied().max().unwrap_or(0), w.iter().map(|&x| x as u64).sum())
+            }
+            None => (1, self.n_tx as u64),
+        };
+        let PackedScratch { cur, nxt, cur32, nxt32, cur16, nxt16, survivors } = scratch;
+        let survivors = &mut survivors[..self.steps];
+        let start = if w_max <= SMALL_WEIGHT_BOUND {
+            match weights {
+                Some(w) => {
+                    self.acs16(target, |i| w[i] as u16, cur16, nxt16, survivors, terminate)
+                }
+                None => self.acs16(target, |_| 1u16, cur16, nxt16, survivors, terminate),
+            }
+        } else if budget <= SMALL_METRIC_BOUND {
+            match weights {
+                Some(w) => self.acs32(target, |i| w[i], cur32, nxt32, survivors, terminate),
+                None => self.acs32(target, |_| 1u32, cur32, nxt32, survivors, terminate),
+            }
+        } else {
+            match weights {
+                Some(w) => self.acs64(target, |i| w[i] as u64, cur, nxt, survivors, terminate),
+                None => self.acs64(target, |_| 1u64, cur, nxt, survivors, terminate),
+            }
+        };
+        // Walk the packed survivor history backward, emitting one decoded
+        // bit per step. The decision bit of a destination state *is* the
+        // low bit of its predecessor: `prev = ((state & 31) << 1) | bit`.
+        let mut state = start;
+        for (t, &word) in survivors.iter().enumerate().rev() {
+            out[t] = state >> 5 == 1;
+            let bit = (word >> state) & 1;
+            state = ((state & 31) << 1) | bit as usize;
+        }
+    }
+}
+
+/// Stamps the forward add–compare–select sweep for one metric width.
+///
+/// The kernel leans on a symmetry of the (133,171) generators: both
+/// polynomials tap the current input (window bit 6) *and* the oldest state
+/// bit (window bit 0), so toggling either the input bit or the predecessor
+/// parity flips **both** output bits — `CODES[1][j] = CODES[0][j] ^ 3` and
+/// `CODES[k][j + 32] = CODES[k][j] ^ 3` (pinned by a unit test below).
+/// With per-step emission costs `ca0/ca1` (for output A = 0/1) and
+/// `cb0/cb1`, the four branch metrics of a butterfly therefore collapse to
+/// one value `x` (cost of the even predecessor's code) and its complement
+/// `tot − x` where `tot = ca0 + ca1 + cb0 + cb1` — no table lookups inside
+/// the loop, and the per-lane select reads compile-time-constant masks
+/// ([`ABIT`]/[`BBIT`]), which keeps the whole butterfly loop branchless
+/// and auto-vectorizable.
+///
+/// Tie-breaks use `odd < even`, so ties select the even predecessor —
+/// matching the scalar reference, which visits predecessors ascending and
+/// replaces only on strictly smaller metric. The final-state argmin scans
+/// ascending with a strict compare (first minimum), mirroring the scalar
+/// `min_by_key`. Unreachable states decay from the `INF` sentinel within
+/// `MEMORY` steps (state 0 reaches every state in 6 transitions), so no
+/// clamp is needed: sentinel-rooted metrics stay strictly above every
+/// reachable metric while they exist, and the overflow headroom above the
+/// sentinel covers those 6 steps (see `INF` / `INF32`).
+macro_rules! acs_kernel {
+    ($name:ident, $ty:ty, $sty:ty, $inf:expr, $amask:expr, $bmask:expr, $renorm:literal) => {
+        fn $name(
+            &self,
+            target: &[bool],
+            weight_of: impl Fn(usize) -> $ty,
+            cur: &mut Box<[$ty; NUM_STATES]>,
+            nxt: &mut Box<[$ty; NUM_STATES]>,
+            survivors: &mut [u64],
+            terminate: bool,
+        ) -> usize {
+            /// One trellis step: 32 butterflies (destinations `j` for
+            /// input 0 and `j + 32` for input 1 share predecessors `2j`
+            /// and `2j + 1`, loaded once), with the even-predecessor
+            /// branch cost supplied by `x_of` so rate-punctured steps
+            /// that transmit a single bit (4 of every 5 at R5/6, the
+            /// BlueFi hot path) pay for one mask chain instead of two.
+            /// Everything inside is constant-mask arithmetic, a compare,
+            /// and a select — branchless, cross-iteration-independent,
+            /// lane-parallel. Returns the packed survivor word.
+            #[inline(always)]
+            fn step<F: Fn(usize) -> $ty>(
+                c: &[$ty; NUM_STATES],
+                n: &mut [$ty; NUM_STATES],
+                tot: $ty,
+                x_of: F,
+            ) -> u64 {
+                // Decision masks land in `u32` cells: survivor-word lane
+                // width, and — measured — the vector factor this pins is
+                // the fastest configuration for every kernel (wider
+                // factors push the stride-2 metric loads into scalar
+                // gathers that cost more than the extra lanes recover).
+                let mut take_lo = [0u32; NUM_STATES / 2];
+                let mut take_hi = [0u32; NUM_STATES / 2];
+                for j in 0..NUM_STATES / 2 {
+                    let x = x_of(j);
+                    let y = tot - x;
+                    let m0 = c[2 * j];
+                    let m1 = c[2 * j + 1];
+                    let lo0 = m0 + x;
+                    let lo1 = m1 + y;
+                    // In the narrow kernels every metric stays below the
+                    // signed midpoint (see the sentinel docs), so the
+                    // signed compare is the unsigned one — minus the SIMD
+                    // sign-bias fixups.
+                    let tl = (lo1 as $sty) < (lo0 as $sty); // tie -> even
+                    n[j] = if tl { lo1 } else { lo0 };
+                    let hi0 = m0 + y;
+                    let hi1 = m1 + x;
+                    let th = (hi1 as $sty) < (hi0 as $sty);
+                    n[NUM_STATES / 2 + j] = if th { hi1 } else { hi0 };
+                    take_lo[j] = if tl { u32::MAX } else { 0 };
+                    take_hi[j] = if th { u32::MAX } else { 0 };
+                }
+                // Fold the decision masks into the survivor word: two
+                // pure OR reductions over constant lane bits, which the
+                // vectorizer keeps in SIMD accumulators.
+                let mut lo_word = 0u32;
+                for j in 0..NUM_STATES / 2 {
+                    lo_word |= take_lo[j] & LANE_BIT[j];
+                }
+                let mut hi_word = 0u32;
+                for j in 0..NUM_STATES / 2 {
+                    hi_word |= take_hi[j] & LANE_BIT[j];
+                }
+                lo_word as u64 | (hi_word as u64) << (NUM_STATES / 2)
+            }
+
+            cur.fill($inf);
+            cur[0] = 0; // 802.11 convention: the encoder starts at state 0
+            for (t, &desc) in self.step_desc.iter().enumerate() {
+                let off = (desc >> 2) as usize;
+                let keep_a = desc & 1 != 0;
+                let keep_b = desc & 2 != 0;
+                let c = &**cur;
+                let n = &mut **nxt;
+                // Erasures (stolen positions) cost zero: an absent side
+                // simply drops out of the even-predecessor cost. The
+                // target-bit mask XOR flips "code bit set" into "code bit
+                // wrong", so the cost is `weight` exactly on mismatch.
+                survivors[t] = match (keep_a, keep_b) {
+                    (true, true) => {
+                        let wa = weight_of(off);
+                        let ta = if target[off] { <$ty>::MAX } else { 0 };
+                        let wb = weight_of(off + 1);
+                        let tb = if target[off + 1] { <$ty>::MAX } else { 0 };
+                        step(c, n, wa + wb, |j| {
+                            (wa & ($amask[j] ^ ta)) + (wb & ($bmask[j] ^ tb))
+                        })
+                    }
+                    (true, false) => {
+                        let wa = weight_of(off);
+                        let ta = if target[off] { <$ty>::MAX } else { 0 };
+                        step(c, n, wa, |j| wa & ($amask[j] ^ ta))
+                    }
+                    (false, true) => {
+                        let wb = weight_of(off);
+                        let tb = if target[off] { <$ty>::MAX } else { 0 };
+                        step(c, n, wb, |j| wb & ($bmask[j] ^ tb))
+                    }
+                    (false, false) => step(c, n, 0, |_| 0),
+                };
+                std::mem::swap(cur, nxt);
+                // The u16 kernel renormalizes: shifting every metric by
+                // the same constant changes no comparison (so survivors,
+                // tie-breaks, and the final argmin are untouched) and
+                // keeps the narrow metrics inside their overflow bound —
+                // see `SMALL_WEIGHT_BOUND` for the proof.
+                if $renorm && (t + 1) % RENORM_INTERVAL == 0 {
+                    let mn = cur.iter().copied().fold(<$ty>::MAX, <$ty>::min);
+                    for m in cur.iter_mut() {
+                        *m -= mn;
+                    }
+                }
+            }
+            if terminate {
+                0
+            } else {
+                // First minimal metric, ascending — the scalar argmin.
+                let mut best = cur[0];
+                let mut state = 0usize;
+                for (i, &m) in cur.iter().enumerate() {
+                    if m < best {
+                        best = m;
+                        state = i;
+                    }
+                }
+                state
+            }
+        }
+    };
+}
+
+impl TrellisPlan {
+    // The wide kernel keeps the plain unsigned compare: budgets beyond
+    // [`SMALL_METRIC_BOUND`] give no signed-range guarantee (and SSE2 has
+    // no packed 64-bit compare to feed anyway).
+    acs_kernel!(acs64, u64, u64, INF, AMASK64, BMASK64, false);
+    acs_kernel!(acs32, u32, i32, INF32, AMASK32, BMASK32, false);
+    acs_kernel!(acs16, u16, i16, INF16, AMASK16, BMASK16, true);
+}
+
+type PlanKey = (usize, CodeRate);
+type PlanCache = Mutex<HashMap<PlanKey, Arc<TrellisPlan>>>;
+
+fn cache() -> &'static PlanCache {
+    static CACHE: OnceLock<PlanCache> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Returns the interned plan for decoding `n_tx` transmitted bits at
+/// `rate`, building it on first use — the same size-keyed idiom as the
+/// FFT plan cache. Construction happens under the intern lock, so
+/// concurrent first-users of one key all receive the *same* `Arc` (no
+/// lost-race duplicates); plans are never evicted. A cache hit performs
+/// no heap allocation.
+pub fn trellis_plan(rate: CodeRate, n_tx: usize) -> Arc<TrellisPlan> {
+    // A poisoned lock only means another thread panicked mid-insert; the
+    // map is still structurally sound, so recover rather than propagate.
+    let mut map = cache().lock().unwrap_or_else(|p| p.into_inner());
+    Arc::clone(
+        map.entry((n_tx, rate))
+            .or_insert_with(|| Arc::new(TrellisPlan::new(rate, n_tx))),
+    )
+}
+
+/// Number of trellis plans currently interned (observability/test hook).
+pub fn interned_plan_count() -> usize {
+    cache().lock().unwrap_or_else(|p| p.into_inner()).len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convolutional::{transition_next, transition_output};
+
+    #[test]
+    fn code_tables_match_the_encoder() {
+        for ns in 0..NUM_STATES {
+            let input = ns >> 5 == 1;
+            let even = (ns & 31) << 1;
+            for (side, pred) in [(0, even), (1, even | 1)] {
+                assert_eq!(
+                    transition_next(pred as u8, input) as usize,
+                    ns,
+                    "predecessor arithmetic"
+                );
+                let (a, b) = transition_output(pred as u8, input);
+                let code = ((a as u8) << 1) | b as u8;
+                assert_eq!(CODES[side][ns], code, "ns {ns} side {side}");
+            }
+        }
+    }
+
+    #[test]
+    fn code_symmetry_backs_the_folded_kernel() {
+        // Both (133,171) generators tap window bits 0 and 6, so flipping
+        // the predecessor parity or the input bit flips BOTH output bits.
+        // The ACS kernel derives all four butterfly branch costs from this.
+        for j in 0..NUM_STATES / 2 {
+            assert_eq!(CODES[1][j], CODES[0][j] ^ 3, "odd predecessor, j {j}");
+            for k in 0..2 {
+                assert_eq!(CODES[k][j + 32], CODES[k][j] ^ 3, "input flip, j {j} side {k}");
+            }
+        }
+        // And the const masks are exactly the even-predecessor code bits.
+        for j in 0..NUM_STATES / 2 {
+            assert_eq!(ABIT[j], CODES[0][j] & 2 != 0);
+            assert_eq!(BBIT[j], CODES[0][j] & 1 != 0);
+        }
+    }
+
+    #[test]
+    fn plan_arithmetic_covers_every_transmitted_bit() {
+        for rate in [CodeRate::R12, CodeRate::R23, CodeRate::R34, CodeRate::R56] {
+            let n_tx = rate.period_outputs() * 7;
+            let plan = TrellisPlan::new(rate, n_tx);
+            assert_eq!(plan.n_tx(), n_tx);
+            assert_eq!(plan.steps(), rate.n_inputs(n_tx));
+            // Offsets must be dense and strictly increasing by the keep count.
+            let mut expect = 0u32;
+            for &desc in &plan.step_desc {
+                assert_eq!(desc >> 2, expect);
+                expect += (desc & 1) + ((desc >> 1) & 1);
+            }
+            assert_eq!(expect as usize, n_tx);
+        }
+    }
+
+    #[test]
+    fn empty_plan_decodes_to_empty() {
+        let plan = TrellisPlan::new(CodeRate::R12, 0);
+        let mut scratch = PackedScratch::new();
+        let mut out = vec![true; 3];
+        plan.decode_into(&[], None, false, &mut scratch, &mut out);
+        assert!(out.is_empty());
+    }
+}

@@ -14,11 +14,24 @@
 //! The decoder is a pseudo-polynomial dynamic program, O(T·2⁶) — this is
 //! the stage the paper measures at 46.88 ms/packet in C and the reason the
 //! real-time decoder ([`crate::realtime`]) exists.
+//!
+//! Two implementations share this module's API:
+//!
+//! * the **scalar reference decoder** ([`ViterbiScratch::decode_into`] and
+//!   the `*_scalar` entry points) — straightforward enum-typed trellis
+//!   walk, kept as the semantic ground truth; and
+//! * the **packed engine** ([`crate::trellis`]) — bit-packed branchless
+//!   kernel that [`ViterbiScratch::decode_punctured_into`] routes through,
+//!   proven bit-identical to the reference by property tests and the
+//!   conformance golden vectors.
+//!
+//! The scratch additionally memoizes the last punctured decode: repeated
+//! payloads (beacons, test repetitions) skip the trellis entirely and
+//! replay the remembered survivor result.
 
 use crate::convolutional::{transition_next, transition_output, NUM_STATES};
-use crate::puncture::RxBit;
-
-const INF: u64 = u64::MAX / 4;
+use crate::puncture::{CodeRate, RxBit};
+use crate::trellis::{trellis_plan, PackedScratch, INF};
 
 /// Reusable trellis state for the weighted Viterbi: path metrics, survivor
 /// storage, the per-state transition table, and a depuncture buffer.
@@ -38,11 +51,97 @@ pub struct ViterbiScratch {
     surv_prev: Vec<[u8; NUM_STATES]>,
     // Per-state transitions: (next_state, out_a, out_b) for input 0 and 1.
     table: [[(u8, bool, bool); 2]; NUM_STATES],
-    // Depuncture buffer for `decode_punctured_into`.
+    // Depuncture buffer for `decode_punctured_scalar_into`.
     rx_buf: Vec<RxBit>,
     // Re-encode buffers for `reencode_flips_into`.
     reenc_mother: Vec<bool>,
     reenc_punct: Vec<bool>,
+    // The packed engine's metric columns and survivor words.
+    packed: PackedScratch,
+    // Repeat-decode memo (see `DecodeMemo`).
+    memo: DecodeMemo,
+    // Replay buffers for the real-time decoder, so one scratch serves both
+    // FEC-reversal strategies (`core::reversal` picks per packet).
+    realtime: crate::realtime::RealtimeScratch,
+}
+
+/// Memo of the last punctured decode: when the same (rate, termination,
+/// target, weights) tuple comes back — beacon retransmissions decode the
+/// identical coded payload every slot — the remembered output is replayed
+/// without touching the trellis. Matching is exact slice equality, so a
+/// hit can never return a wrong answer; a miss just decodes normally.
+#[derive(Debug, Clone)]
+struct DecodeMemo {
+    valid: bool,
+    rate: CodeRate,
+    terminate: bool,
+    weighted: bool,
+    target: Vec<bool>,
+    weights: Vec<u32>,
+    out: Vec<bool>,
+    hits: u64,
+    last_hit: bool,
+}
+
+impl DecodeMemo {
+    fn new() -> DecodeMemo {
+        DecodeMemo {
+            valid: false,
+            rate: CodeRate::R12,
+            terminate: false,
+            weighted: false,
+            target: Vec::new(),
+            weights: Vec::new(),
+            out: Vec::new(),
+            hits: 0,
+            last_hit: false,
+        }
+    }
+
+    fn matches(
+        &self,
+        rate: CodeRate,
+        target: &[bool],
+        weights: Option<&[u32]>,
+        terminate: bool,
+    ) -> bool {
+        self.valid
+            && self.rate == rate
+            && self.terminate == terminate
+            && self.weighted == weights.is_some()
+            && self.target.as_slice() == target
+            && weights.is_none_or(|w| self.weights.as_slice() == w)
+    }
+
+    fn store(
+        &mut self,
+        rate: CodeRate,
+        target: &[bool],
+        weights: Option<&[u32]>,
+        terminate: bool,
+        out: &[bool],
+    ) {
+        self.valid = true;
+        self.rate = rate;
+        self.terminate = terminate;
+        self.weighted = weights.is_some();
+        copy_bools(&mut self.target, target);
+        match weights {
+            Some(w) => {
+                bluefi_dsp::contracts::ensure_len(&mut self.weights, w.len(), 0);
+                self.weights.copy_from_slice(w);
+            }
+            None => self.weights.clear(),
+        }
+        copy_bools(&mut self.out, out);
+    }
+}
+
+/// Copies `src` into `dst` through the contracts-aware resize, so steady
+/// state (unchanged length) performs no allocation.
+fn copy_bools(dst: &mut Vec<bool>, src: &[bool]) {
+    bluefi_dsp::contracts::ensure_len(dst, src.len(), false);
+    dst.copy_from_slice(src);
 }
 
 impl Default for ViterbiScratch {
@@ -71,7 +170,30 @@ impl ViterbiScratch {
             rx_buf: Vec::new(),
             reenc_mother: Vec::new(),
             reenc_punct: Vec::new(),
+            packed: PackedScratch::new(),
+            memo: DecodeMemo::new(),
+            realtime: crate::realtime::RealtimeScratch::new(),
         }
+    }
+
+    /// The embedded real-time replay buffers, for callers that switch
+    /// between the Viterbi and real-time reversal strategies with one
+    /// scratch (see [`crate::realtime::RealtimePlan::decode_into`]).
+    pub fn realtime_scratch(&mut self) -> &mut crate::realtime::RealtimeScratch {
+        &mut self.realtime
+    }
+
+    /// Total repeat-decode memo hits since the scratch was built.
+    pub fn memo_hits(&self) -> u64 {
+        self.memo.hits
+    }
+
+    /// True when the most recent [`decode_punctured_into`] call was served
+    /// from the repeat-decode memo without running the trellis.
+    ///
+    /// [`decode_punctured_into`]: ViterbiScratch::decode_punctured_into
+    pub fn last_decode_memoized(&self) -> bool {
+        self.memo.last_hit
     }
 
     /// Decodes a (depunctured) mother-code stream into `out` (resized to
@@ -144,9 +266,42 @@ impl ViterbiScratch {
         }
     }
 
-    /// Scratch variant of [`decode_punctured`]: depunctures through the
-    /// internal RX buffer, then decodes into `out`.
+    /// Scratch variant of [`decode_punctured`]: decodes the punctured
+    /// stream through the bit-packed engine ([`crate::trellis`]), bit-
+    /// identical to depuncturing and running the scalar reference decoder.
+    ///
+    /// Repeated targets are served from the repeat-decode memo (see
+    /// [`ViterbiScratch::last_decode_memoized`]); cold decodes fetch the
+    /// interned trellis plan and run the branchless kernel. Allocation-free
+    /// at steady state.
     pub fn decode_punctured_into(
+        &mut self,
+        rate: crate::puncture::CodeRate,
+        punctured: &[bool],
+        weights: Option<&[u32]>,
+        terminate: bool,
+        out: &mut Vec<bool>,
+    ) {
+        if self.memo.matches(rate, punctured, weights, terminate) {
+            self.memo.hits += 1;
+            self.memo.last_hit = true;
+            copy_bools(out, &self.memo.out);
+            return;
+        }
+        self.memo.last_hit = false;
+        let plan = trellis_plan(rate, punctured.len());
+        plan.decode_into(punctured, weights, terminate, &mut self.packed, out);
+        self.memo.store(rate, punctured, weights, terminate, out);
+    }
+
+    /// The scalar reference path of [`decode_punctured_into`]: depunctures
+    /// through the internal RX buffer, then runs the enum-typed trellis
+    /// walk of [`ViterbiScratch::decode_into`]. Kept as the semantic ground
+    /// truth the packed engine is differenced against (property tests, the
+    /// conformance matrix); hot paths should use the packed entry point.
+    ///
+    /// [`decode_punctured_into`]: ViterbiScratch::decode_punctured_into
+    pub fn decode_punctured_scalar_into(
         &mut self,
         rate: crate::puncture::CodeRate,
         punctured: &[bool],
@@ -203,8 +358,24 @@ pub fn decode(rx: &[RxBit], terminate: bool) -> Vec<bool> {
 }
 
 /// Convenience wrapper: decode a punctured stream at `rate` with optional
-/// per-transmitted-bit weights.
+/// per-transmitted-bit weights, through the bit-packed engine. Thin shim
+/// over [`ViterbiScratch::decode_punctured_into`]; hot paths should hold a
+/// scratch.
 pub fn decode_punctured(
+    rate: crate::puncture::CodeRate,
+    punctured: &[bool],
+    weights: Option<&[u32]>,
+    terminate: bool,
+) -> Vec<bool> {
+    let mut out = Vec::new();
+    ViterbiScratch::new().decode_punctured_into(rate, punctured, weights, terminate, &mut out);
+    out
+}
+
+/// The scalar reference path of [`decode_punctured`]: depuncture, then the
+/// enum-typed trellis walk. The packed engine is held bit-identical to this
+/// function by property tests and the conformance golden vectors.
+pub fn decode_punctured_scalar(
     rate: crate::puncture::CodeRate,
     punctured: &[bool],
     weights: Option<&[u32]>,
@@ -347,6 +518,61 @@ mod tests {
     #[test]
     fn empty_input_decodes_to_empty() {
         assert!(decode(&[], false).is_empty());
+    }
+
+    #[test]
+    fn packed_path_matches_scalar_reference() {
+        // The packed engine behind `decode_punctured` must reproduce the
+        // enum-typed reference walk bit for bit: every rate, weighted and
+        // unweighted, terminated and free-ending.
+        for (len, k) in [(60usize, 11u64), (120, 5), (30, 29)] {
+            let mut data = pattern_bits(len, k);
+            data.extend([false; 6]);
+            for rate in [CodeRate::R12, CodeRate::R23, CodeRate::R34, CodeRate::R56] {
+                let n = data.len() - data.len() % rate.period_inputs();
+                let mut tx = puncture(rate, &encode_r12(&data[..n]));
+                // Corrupt a few positions so the decode is not trivial.
+                for i in (3..tx.len()).step_by(37) {
+                    tx[i] = !tx[i];
+                }
+                let weights: Vec<u32> =
+                    (0..tx.len() as u32).map(|i| [1, 100, 1000][(i % 3) as usize]).collect();
+                for (w, term) in
+                    [(None, false), (None, true), (Some(&weights[..]), false)]
+                {
+                    let packed = decode_punctured(rate, &tx, w, term);
+                    let scalar = decode_punctured_scalar(rate, &tx, w, term);
+                    assert_eq!(packed, scalar, "len {len} rate {rate:?} term {term}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn repeat_decodes_hit_the_memo() {
+        let data = pattern_bits(60, 7);
+        let tx = puncture(CodeRate::R56, &encode_r12(&data));
+        let weights: Vec<u32> = (0..tx.len() as u32).map(|i| 1 + i % 7).collect();
+        let mut scratch = ViterbiScratch::new();
+        let mut out = Vec::new();
+        scratch.decode_punctured_into(CodeRate::R56, &tx, Some(&weights), false, &mut out);
+        assert!(!scratch.last_decode_memoized());
+        assert_eq!(scratch.memo_hits(), 0);
+        let cold = out.clone();
+        // Identical target: served from the memo, identical answer.
+        scratch.decode_punctured_into(CodeRate::R56, &tx, Some(&weights), false, &mut out);
+        assert!(scratch.last_decode_memoized());
+        assert_eq!(scratch.memo_hits(), 1);
+        assert_eq!(out, cold);
+        // Same target, different weights: must NOT hit.
+        let other: Vec<u32> = weights.iter().map(|w| w + 1).collect();
+        scratch.decode_punctured_into(CodeRate::R56, &tx, Some(&other), false, &mut out);
+        assert!(!scratch.last_decode_memoized());
+        // Same bits but unweighted is a different key, too.
+        scratch.decode_punctured_into(CodeRate::R56, &tx, None, false, &mut out);
+        assert!(!scratch.last_decode_memoized());
+        assert_eq!(out, decode_punctured_scalar(CodeRate::R56, &tx, None, false));
+        assert_eq!(scratch.memo_hits(), 1);
     }
 
     #[test]

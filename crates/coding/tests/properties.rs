@@ -8,10 +8,10 @@ use bluefi_coding::hamming::{decode15_10, decode_r13, encode15_10, encode_r13, B
 use bluefi_coding::lfsr::{ble_whiten, recover_seed, scramble};
 use bluefi_coding::puncture::{depuncture, puncture, CodeRate, RxBit};
 use bluefi_coding::realtime::{protected_mask, RealtimePlan};
-use bluefi_coding::viterbi::{decode_punctured, reencode_flips};
+use bluefi_coding::viterbi::{decode_punctured, decode_punctured_scalar, reencode_flips};
 use bluefi_coding::FreeEdge;
 use bluefi_core::check::{bools, check};
-use bluefi_core::rng::Rng;
+use bluefi_core::rng::{Rng, SeedableRng, StdRng};
 use bluefi_core::{prop_assert, prop_assert_eq};
 
 #[test]
@@ -123,6 +123,51 @@ fn realtime_plan_never_flips_protected() {
             }
             // The paper's guarantee: at most 1/3 of bits flip.
             prop_assert!(out.flips.len() * 3 <= target.len());
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn packed_engine_matches_scalar_reference() {
+    // The bit-packed trellis engine must agree with the scalar reference
+    // decoder on every rate, termination mode, corruption pattern, and —
+    // critically — every metric-width kernel the weight magnitudes can
+    // dispatch to (u16 renormalizing, u32, u64).
+    check(
+        "packed_engine_matches_scalar_reference",
+        |rng| {
+            // 30 = lcm of the puncturing periods, so every rate divides.
+            let data = bools(rng, 30..31);
+            let rate_idx = rng.gen_range(0usize..4);
+            let wclass = rng.gen_range(0usize..4);
+            let terminate = rng.gen::<bool>();
+            let seed = rng.gen::<u64>();
+            (data, rate_idx, wclass, terminate, seed)
+        },
+        |(data, rate_idx, wclass, terminate, seed)| {
+            let rate = [CodeRate::R12, CodeRate::R23, CodeRate::R34, CodeRate::R56][*rate_idx];
+            let mut tx = puncture(rate, &encode_r12(data));
+            let mut rng = StdRng::seed_from_u64(*seed);
+            for bit in tx.iter_mut() {
+                if rng.gen_range(0u32..8) == 0 {
+                    *bit = !*bit;
+                }
+            }
+            // One weight class per kernel: unweighted and small weights
+            // take the renormalizing u16 path, mid-size weights the u32
+            // path, and huge weights (total budget above 2^26) the u64
+            // path.
+            let weights: Option<Vec<u32>> = match wclass {
+                0 => None,
+                1 => Some((0..tx.len()).map(|_| rng.gen_range(1u32..1_166)).collect()),
+                2 => Some((0..tx.len()).map(|_| rng.gen_range(2_000u32..50_001)).collect()),
+                _ => Some((0..tx.len()).map(|_| rng.gen_range(1u32 << 22..1 << 24)).collect()),
+            };
+            let w = weights.as_deref();
+            let packed = decode_punctured(rate, &tx, w, *terminate);
+            let scalar = decode_punctured_scalar(rate, &tx, w, *terminate);
+            prop_assert_eq!(packed, scalar);
             Ok(())
         },
     );

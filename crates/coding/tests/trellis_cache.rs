@@ -1,0 +1,104 @@
+//! Integration tests for the process-wide trellis-plan intern table and
+//! the per-scratch decode memo.
+//!
+//! These run as a separate test binary on purpose: the intern table is
+//! process-global state, and a dedicated process keeps the counts below
+//! deterministic (unit tests in the library crate would race them).
+
+use bluefi_coding::puncture::CodeRate;
+use bluefi_coding::trellis::{interned_plan_count, trellis_plan};
+use bluefi_coding::viterbi::ViterbiScratch;
+use bluefi_coding::{convolutional::encode_r12, puncture::puncture};
+use std::sync::Arc;
+
+const RATES: [CodeRate; 4] = [CodeRate::R12, CodeRate::R23, CodeRate::R34, CodeRate::R56];
+
+/// Concurrent first-users of one (rate, length) key must all receive the
+/// *same* interned plan — no lost-race duplicate construction. The intern
+/// holds its lock across the build, so this pins the Arc identity, not
+/// just structural equality.
+#[test]
+fn concurrent_first_use_interns_one_plan() {
+    let n_tx = CodeRate::R34.period_outputs() * 64;
+    let plans: Vec<Arc<_>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..8)
+            .map(|_| s.spawn(move || trellis_plan(CodeRate::R34, n_tx)))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("no panics")).collect()
+    });
+    for p in &plans[1..] {
+        assert!(Arc::ptr_eq(&plans[0], p), "racing first-use built a duplicate plan");
+    }
+    assert_eq!(plans[0].rate(), CodeRate::R34);
+    assert_eq!(plans[0].n_tx(), n_tx);
+}
+
+/// Re-requesting interned keys never rebuilds or evicts: the table grows
+/// once per distinct key and then stays put, and every hit returns the
+/// original Arc.
+#[test]
+fn reuse_is_eviction_free_across_keys() {
+    let mut keys: Vec<(CodeRate, usize)> = RATES
+        .iter()
+        .flat_map(|&r| (1..=3).map(move |k| (r, r.period_outputs() * 16 * k)))
+        .collect();
+    // The sibling tests in this binary share the process-global table;
+    // covering their keys here keeps the count assertion interleaving-proof.
+    keys.push((CodeRate::R34, CodeRate::R34.period_outputs() * 64));
+    keys.push((CodeRate::R23, 60));
+    keys.sort_by_key(|&(r, n)| (r as usize, n));
+    keys.dedup();
+    let first: Vec<Arc<_>> = keys.iter().map(|&(r, n)| trellis_plan(r, n)).collect();
+    let after_first = interned_plan_count();
+    assert!(after_first >= keys.len(), "every distinct key must be interned");
+    for round in 0..3 {
+        for (i, &(r, n)) in keys.iter().enumerate() {
+            let again = trellis_plan(r, n);
+            assert!(Arc::ptr_eq(&first[i], &again), "round {round}: key {i} was rebuilt");
+        }
+        assert_eq!(interned_plan_count(), after_first, "round {round}: table size changed");
+    }
+}
+
+/// The scratch-level decode memo replays a repeated (rate, payload,
+/// weights) decode without re-running the trellis, and invalidates on any
+/// input change.
+#[test]
+fn decode_memo_hits_only_on_identical_inputs() {
+    let data: Vec<bool> = (0..40).map(|i| i % 3 == 0).collect();
+    let tx = puncture(CodeRate::R23, &encode_r12(&data));
+    let weights: Vec<u32> = (0..tx.len()).map(|i| 1 + (i as u32 % 7)).collect();
+
+    let mut vit = ViterbiScratch::new();
+    let mut out = Vec::new();
+
+    vit.decode_punctured_into(CodeRate::R23, &tx, Some(&weights), false, &mut out);
+    assert_eq!(out, data);
+    assert!(!vit.last_decode_memoized(), "first decode cannot hit the memo");
+    assert_eq!(vit.memo_hits(), 0);
+
+    // Identical repeat: served from the memo, identical output.
+    let mut repeat = Vec::new();
+    vit.decode_punctured_into(CodeRate::R23, &tx, Some(&weights), false, &mut repeat);
+    assert_eq!(repeat, data);
+    assert!(vit.last_decode_memoized());
+    assert_eq!(vit.memo_hits(), 1);
+
+    // Any input change must miss: weights, termination, then payload.
+    let mut bumped = weights.clone();
+    bumped[0] += 1;
+    vit.decode_punctured_into(CodeRate::R23, &tx, Some(&bumped), false, &mut out);
+    assert!(!vit.last_decode_memoized(), "changed weights must invalidate");
+    vit.decode_punctured_into(CodeRate::R23, &tx, Some(&bumped), true, &mut out);
+    assert!(!vit.last_decode_memoized(), "changed termination must invalidate");
+    let mut flipped = tx.clone();
+    flipped[3] = !flipped[3];
+    vit.decode_punctured_into(CodeRate::R23, &flipped, Some(&bumped), true, &mut out);
+    assert!(!vit.last_decode_memoized(), "changed payload must invalidate");
+    assert_eq!(vit.memo_hits(), 1, "misses must not count as hits");
+
+    // And the memo re-arms on the new inputs.
+    vit.decode_punctured_into(CodeRate::R23, &flipped, Some(&bumped), true, &mut out);
+    assert!(vit.last_decode_memoized());
+    assert_eq!(vit.memo_hits(), 2);
+}

@@ -6,11 +6,13 @@ use bluefi_conformance::{replay, run_fuzz, shrink, FuzzInput};
 
 #[test]
 fn budgeted_soak_finds_no_violations() {
-    // ~40 iterations keeps the debug-profile cost to a few seconds while
-    // still crossing the scratch-diff (every 4th) and receiver (every
-    // 8th) cadences several times.
-    let report = run_fuzz(0xB10E_F1, 40);
-    assert_eq!(report.iters, 40);
+    // 500 iterations: with the packed trellis engine on the decode path
+    // this soak now exercises every kernel dispatch (unweighted u16,
+    // weighted u16/u32, the memoized repeat path) while crossing the
+    // scratch-diff (every 4th) and receiver (every 8th) cadences dozens
+    // of times — and still finishes in seconds under the debug profile.
+    let report = run_fuzz(0xB10E_F1, 500);
+    assert_eq!(report.iters, 500);
     assert!(report.is_clean(), "{}", report.render());
 }
 

@@ -5,11 +5,9 @@
 use crate::qam::QuantizedSymbol;
 use crate::telemetry::{self, Counter};
 use bluefi_coding::lfsr::Lfsr7;
-use bluefi_coding::realtime::RealtimePlan;
+use bluefi_coding::realtime::realtime_plan;
 use bluefi_coding::viterbi::{decode_punctured, reencode_flips};
 use bluefi_coding::{CodeRate, FreeEdge, ViterbiScratch};
-use std::collections::HashMap;
-use std::sync::{Arc, Mutex, OnceLock};
 use bluefi_wifi::qam::demap_point;
 use bluefi_wifi::Interleaver;
 use bluefi_wifi::Mcs;
@@ -143,9 +141,11 @@ pub fn reverse_fec(
 }
 
 /// Scratch-buffer variant of [`reverse_fec`]: decodes through `vit` and
-/// writes the result into `out`. The weighted-Viterbi path is
-/// allocation-free at steady state; the real-time path still allocates
-/// inside the cached plan's decode (it is already far cheaper than Viterbi).
+/// writes the result into `out`. Both strategies are allocation-free at
+/// steady state: the weighted-Viterbi path runs the bit-packed engine
+/// (with a repeat-decode memo for identical payloads), and the real-time
+/// path replays the interned elimination plan through the scratch's
+/// embedded buffers.
 pub fn reverse_fec_with(
     coded: &[bool],
     weights: &[u32],
@@ -160,6 +160,9 @@ pub fn reverse_fec_with(
             telemetry::add(Counter::ViterbiCodedBits, coded.len() as u64);
             let rate = CodeRate::R56;
             vit.decode_punctured_into(rate, coded, Some(weights), false, &mut out.scrambled);
+            if vit.last_decode_memoized() {
+                telemetry::incr(Counter::ViterbiMemoHits);
+            }
             vit.reencode_flips_into(rate, &out.scrambled, coded, &mut out.flips);
         }
         DecodeStrategy::Realtime => {
@@ -169,34 +172,10 @@ pub fn reverse_fec_with(
             } else {
                 FreeEdge::Back
             };
-            let r = realtime_plan(coded.len(), edge).decode(coded);
-            out.scrambled = r.decoded;
-            out.flips = r.flips;
+            let plan = realtime_plan(coded.len(), edge);
+            plan.decode_into(coded, vit.realtime_scratch(), &mut out.scrambled, &mut out.flips);
         }
     }
-}
-
-/// Returns the cached elimination plan for a `(length, edge)` pair. The
-/// plan is target-independent (see [`RealtimePlan`]), so real-time packet
-/// generation pays the symbolic elimination once per packet geometry — this
-/// is what keeps per-packet decode time below the 1.25 ms slot interval
-/// (paper Sec 4.8).
-fn realtime_plan(n_tx: usize, edge: FreeEdge) -> Arc<RealtimePlan> {
-    type PlanCache = Mutex<HashMap<(usize, bool), Arc<RealtimePlan>>>;
-    static CACHE: OnceLock<PlanCache> = OnceLock::new();
-    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
-    let key = (n_tx, edge == FreeEdge::Front);
-    // A poisoned lock only means another thread panicked mid-insert; the
-    // map is still structurally sound, so recover rather than propagate.
-    if let Some(plan) = cache.lock().unwrap_or_else(|p| p.into_inner()).get(&key) {
-        return Arc::clone(plan);
-    }
-    let plan = Arc::new(RealtimePlan::new(n_tx, edge));
-    cache
-        .lock()
-        .unwrap_or_else(|p| p.into_inner())
-        .insert(key, Arc::clone(&plan));
-    plan
 }
 
 /// Forces the scrambled-bit positions BlueFi does not control — the 16-bit

@@ -42,6 +42,16 @@ pub fn bucket_upper(i: usize) -> u64 {
     }
 }
 
+/// Inclusive lower bound of a bucket (`2^(i-1)`; bucket 0 holds only 0).
+#[inline]
+pub fn bucket_lower(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        1u64 << (i - 1)
+    }
+}
+
 /// A plain fixed-bucket histogram with exact count/sum/min/max sidecars.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Histogram {
@@ -104,22 +114,45 @@ impl Histogram {
         }
     }
 
-    /// Approximate percentile (`p` in 0..=100): the upper bound of the
-    /// bucket where the cumulative count crosses `p`% of the total,
-    /// clamped into the exact `[min, max]` envelope — so a single-sample
-    /// histogram reports that sample exactly at every percentile.
+    /// Approximate percentile (`p` in 0..=100): linearly interpolated
+    /// *within* the bucket where the cumulative count crosses `p`% of the
+    /// total, then clamped into the exact `[min, max]` envelope. `p <= 0`
+    /// reports the exact minimum and `p >= 100` the exact maximum.
     /// `None` when empty.
+    ///
+    /// Interpolation matters: reporting the bucket's *upper* bound made
+    /// every percentile a log₂-bucket ceiling, so `p50` routinely exceeded
+    /// the exact mean (a rank-500 sample in the 256..511 bucket reported
+    /// 511 regardless of where the mass sat) — the `p50_us > mean_us`
+    /// artifacts the runtime-profile JSON used to show. Spreading the
+    /// bucket's samples evenly across its span keeps the estimate inside
+    /// the bucket *and* statistically centered.
     pub fn percentile(&self, p: f64) -> Option<u64> {
         if self.count == 0 {
             return None;
         }
-        let rank = (p.clamp(0.0, 100.0) / 100.0 * self.count as f64).ceil().max(1.0) as u64;
+        if p <= 0.0 {
+            return Some(self.min);
+        }
+        if p >= 100.0 {
+            return Some(self.max);
+        }
+        let rank = (p / 100.0 * self.count as f64).ceil().max(1.0) as u64;
         let mut seen = 0u64;
         for (i, &c) in self.buckets.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                return Some(bucket_upper(i).clamp(self.min, self.max));
+            if c == 0 {
+                continue;
             }
+            if seen + c >= rank {
+                // The rank-th sample is the `pos`-th (1-based) of `c`
+                // samples assumed evenly spread over [lo, hi].
+                let lo = bucket_lower(i);
+                let hi = bucket_upper(i);
+                let pos = rank - seen;
+                let v = lo as u128 + (hi - lo) as u128 * pos as u128 / c as u128;
+                return Some((v as u64).clamp(self.min, self.max));
+            }
+            seen += c;
         }
         Some(self.max)
     }
@@ -188,10 +221,38 @@ mod tests {
             h.record(v);
         }
         let p50 = h.percentile(50.0).unwrap();
-        // Bucket resolution: p50 falls in the bucket holding rank 500
-        // (values 256..511 → upper 511).
-        assert!((256..=1000).contains(&p50), "p50 {p50}");
+        // Interpolation within the rank-500 bucket (values 256..511) must
+        // land near the true median — and, for a skew-free input, must not
+        // exceed the exact mean (the old upper-envelope estimate reported
+        // 511 here, the `p50 > mean` artifact this pins against).
+        assert!((256..=511).contains(&p50), "p50 {p50}");
+        assert!(
+            (p50 as f64) <= h.mean().unwrap(),
+            "p50 {p50} exceeds mean {}",
+            h.mean().unwrap()
+        );
+        assert!((450..=511).contains(&p50), "p50 {p50} far from true median 500");
+        // The exact envelope is pinned at the endpoints.
+        assert_eq!(h.percentile(0.0), Some(1));
         assert_eq!(h.percentile(100.0), Some(1000));
-        assert_eq!(h.percentile(0.0).unwrap().max(1), h.percentile(0.0).unwrap());
+        // Monotone in p.
+        let p90 = h.percentile(90.0).unwrap();
+        let p99 = h.percentile(99.0).unwrap();
+        assert!(p50 <= p90 && p90 <= p99, "p50 {p50} p90 {p90} p99 {p99}");
+    }
+
+    #[test]
+    fn percentile_interpolates_within_buckets() {
+        // 4 samples in the 256..511 bucket: ranks 1..4 spread evenly.
+        let mut h = Histogram::new();
+        for v in [300u64, 310, 320, 330] {
+            h.record(v);
+        }
+        // p25 -> rank 1 -> lo + span*1/4 = 256 + 63 = 319, clamped to 300.
+        assert_eq!(h.percentile(25.0), Some(319));
+        // p100 -> exact max.
+        assert_eq!(h.percentile(100.0), Some(330));
+        // p1 -> rank 1 interpolant again (clamps keep it in-envelope).
+        assert!(h.percentile(1.0).unwrap() >= 300);
     }
 }

@@ -175,6 +175,7 @@ metric_enum! {
         ForcedBits => "forced_bits",
         ViterbiDecodes => "viterbi_decodes",
         ViterbiCodedBits => "viterbi_coded_bits",
+        ViterbiMemoHits => "viterbi_memo_hits",
         RealtimeDecodes => "realtime_decodes",
         StageWaveforms => "stage_waveforms",
         ParFanouts => "par_fanouts",
