@@ -2,8 +2,20 @@
 //!
 //! In-tree static analysis for the BlueFi workspace — the standing
 //! correctness gate behind `tests/analyze_gate.rs` and the
-//! `cargo run -p bluefi-analyze` report. Zero dependencies, token-level
-//! (no external parser), consistent with the hermetic-build policy.
+//! `cargo run -p bluefi-analyze` report. Token-level (no external parser),
+//! consistent with the hermetic-build policy; the only dependency is
+//! `bluefi-core` for the machine-readable JSON report.
+//!
+//! The analyzer runs as a multi-pass pipeline (DESIGN.md §13):
+//!
+//! 1. [`source`] — the line lexer: code/comment/test-region/hatch
+//!    classification with string and char contents blanked.
+//! 2. [`tokens`] — a token stream (idents, literals, punctuation with
+//!    spans) atop the blanked code view.
+//! 3. [`items`] — a per-file item index: functions with visibility, body
+//!    spans and `#[cfg(test)]` status, `use` imports, module paths.
+//! 4. [`callgraph`] — a workspace symbol table and conservative call
+//!    graph for the cross-file rule R10.
 //!
 //! Rules:
 //!
@@ -14,8 +26,9 @@
 //!   every crate carries `#![forbid(unsafe_code)]`.
 //! * **R3 hermetic-manifests** — no non-`bluefi` dependencies in any
 //!   `Cargo.toml` (absorbed from the former `tests/hermetic.rs`).
-//! * **R4 doc-comments** — every `pub fn` in `dsp`/`wifi`/`core` carries a
-//!   doc comment.
+//! * **R4 doc-comments** — every *fully public* `pub fn` in
+//!   `dsp`/`wifi`/`core`/`analyze` carries a doc comment;
+//!   `pub(crate)`/`pub(super)` are internal API and exempt.
 //! * **R5 no-float-eq** — no `==`/`!=` against float operands in signal
 //!   code (`dsp`/`wifi`/`bt`/`core`); escape hatch
 //!   `// lint: allow(float-eq) <reason>`.
@@ -24,17 +37,37 @@
 //!   (`dsp`/`wifi`/`coding`) — use a plan cache or a reused scratch buffer;
 //!   escape hatch `// lint: allow(r6) <reason>`.
 //! * **R7 no-adhoc-print** — no `println!` / `eprintln!` / `print!` /
-//!   `eprint!` in library crates (`dsp`/`coding`/`wifi`/`bt`/`core`/`sim`/
-//!   `apps`) — route output through the telemetry recorder or a
-//!   `core::telemetry::Table`; escape hatch `// lint: allow(print) <reason>`.
+//!   `eprint!` in library crates — route output through the telemetry
+//!   recorder or a `core::telemetry::Table`; escape hatch
+//!   `// lint: allow(print) <reason>`.
+//! * **R8 crate-layering** — no `bluefi_<x>` reference from a crate on the
+//!   same layer or below `<x>` in the dependency DAG
+//!   ([`callgraph::LAYERS`]); manifest `[dependencies]` are checked too;
+//!   escape hatch `// lint: allow(layering) <reason>`.
+//! * **R9 atomic-ordering** — every `Ordering::SeqCst`/`AcqRel` in the
+//!   atomics-bearing crates (`core`/`coding`/`dsp`) needs
+//!   `// lint: allow(atomic-ordering) <reason>`, and a `.load(..)` followed
+//!   within three statements by a `.store(..)` on the same atomic is
+//!   flagged as a lost-update race.
+//! * **R10 no-transitive-hot-loop-alloc** — R6 propagated through the call
+//!   graph: a hot loop calling a function that allocates directly or
+//!   transitively is flagged at the call site with the allocation chain;
+//!   escape hatch `// lint: allow(r10) <reason>`.
+//!
+//! Hatched (suppressed) findings are reported separately so the gate can
+//! pin exact hatch counts — a new hatch is a visible diff, never silent.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod callgraph;
+pub mod items;
 pub mod manifests;
 pub mod rules;
 pub mod source;
+pub mod tokens;
 
+use bluefi_core::json::Json;
 use source::SourceFile;
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -48,7 +81,8 @@ pub enum Rule {
     NoUnsafe,
     /// R3 — hermetic manifests (workspace-internal dependencies only).
     HermeticManifests,
-    /// R4 — doc comments on every public function in `dsp`/`wifi`/`core`.
+    /// R4 — doc comments on every fully public function in
+    /// `dsp`/`wifi`/`core`/`analyze`.
     DocComments,
     /// R5 — no floating-point equality in signal code.
     NoFloatEq,
@@ -56,11 +90,19 @@ pub enum Rule {
     HotLoopAlloc,
     /// R7 — no ad-hoc `println!`-family output in library crates.
     AdhocPrint,
+    /// R8 — crate-layering: no upward or sibling `bluefi_*` references.
+    CrateLayering,
+    /// R9 — atomic-ordering audit: strong orderings need a reason, and
+    /// load→store windows on one atomic are lost-update races.
+    AtomicOrdering,
+    /// R10 — no transitive allocation under hot loops (R6 through the
+    /// call graph).
+    TransitiveAlloc,
 }
 
 impl Rule {
     /// All rules in reporting order.
-    pub const ALL: [Rule; 7] = [
+    pub const ALL: [Rule; 10] = [
         Rule::NoPanics,
         Rule::NoUnsafe,
         Rule::HermeticManifests,
@@ -68,9 +110,13 @@ impl Rule {
         Rule::NoFloatEq,
         Rule::HotLoopAlloc,
         Rule::AdhocPrint,
+        Rule::CrateLayering,
+        Rule::AtomicOrdering,
+        Rule::TransitiveAlloc,
     ];
 
-    /// Short code, `R1`..`R7`.
+    /// Short code, `R1`..`R10`. Stable: the JSON schema and the gate key
+    /// on these.
     pub fn code(self) -> &'static str {
         match self {
             Rule::NoPanics => "R1",
@@ -80,10 +126,13 @@ impl Rule {
             Rule::NoFloatEq => "R5",
             Rule::HotLoopAlloc => "R6",
             Rule::AdhocPrint => "R7",
+            Rule::CrateLayering => "R8",
+            Rule::AtomicOrdering => "R9",
+            Rule::TransitiveAlloc => "R10",
         }
     }
 
-    /// Human-readable rule name.
+    /// Human-readable rule name. Stable, like [`Rule::code`].
     pub fn name(self) -> &'static str {
         match self {
             Rule::NoPanics => "no-panic",
@@ -93,6 +142,9 @@ impl Rule {
             Rule::NoFloatEq => "no-float-eq",
             Rule::HotLoopAlloc => "no-hot-loop-alloc",
             Rule::AdhocPrint => "no-adhoc-print",
+            Rule::CrateLayering => "crate-layering",
+            Rule::AtomicOrdering => "atomic-ordering",
+            Rule::TransitiveAlloc => "no-transitive-hot-loop-alloc",
         }
     }
 }
@@ -108,12 +160,27 @@ pub struct Diagnostic {
     pub line: usize,
     /// What went wrong and how to fix it.
     pub message: String,
+    /// Supporting call chain (R10): qualified function names from the
+    /// call site's callee down to the allocating function. Empty for
+    /// single-site rules.
+    pub chain: Vec<String>,
 }
 
 impl Diagnostic {
-    /// Builds a diagnostic.
+    /// Builds a diagnostic without a chain.
     pub fn new(rule: Rule, file: &str, line: usize, message: String) -> Diagnostic {
-        Diagnostic { rule, file: file.to_string(), line, message }
+        Diagnostic { rule, file: file.to_string(), line, message, chain: Vec::new() }
+    }
+
+    /// Builds a diagnostic carrying a call chain (R10).
+    pub fn with_chain(
+        rule: Rule,
+        file: &str,
+        line: usize,
+        message: String,
+        chain: Vec<String>,
+    ) -> Diagnostic {
+        Diagnostic { rule, file: file.to_string(), line, message, chain }
     }
 }
 
@@ -131,6 +198,35 @@ impl fmt::Display for Diagnostic {
     }
 }
 
+/// The sink rules emit into: findings that fired, and findings that were
+/// suppressed by an escape hatch. Keeping both lets the workspace report
+/// pin exact hatch counts — adding a hatch shows up in the gate diff
+/// instead of silently shrinking coverage.
+#[derive(Debug, Clone, Default)]
+pub struct Findings {
+    /// Findings that fired (no hatch on the line).
+    pub fired: Vec<Diagnostic>,
+    /// Findings suppressed by a `// lint: allow(..) <reason>` hatch.
+    pub hatched: Vec<Diagnostic>,
+}
+
+impl Findings {
+    /// Routes one diagnostic to the fired or hatched list.
+    pub fn emit(&mut self, hatched: bool, d: Diagnostic) {
+        if hatched {
+            self.hatched.push(d);
+        } else {
+            self.fired.push(d);
+        }
+    }
+
+    /// Appends another sink's contents.
+    pub fn extend(&mut self, other: Findings) {
+        self.fired.extend(other.fired);
+        self.hatched.extend(other.hatched);
+    }
+}
+
 /// Which rules apply to a workspace-relative source path.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Scope {
@@ -138,15 +234,20 @@ pub struct Scope {
     pub no_panics: bool,
     /// R2 applies (all in-crate sources).
     pub no_unsafe: bool,
-    /// R4 applies (`dsp`/`wifi`/`core` public API).
+    /// R4 applies (`dsp`/`wifi`/`core`/`analyze` public API).
     pub doc_comments: bool,
     /// R5 applies (signal crates: `dsp`/`wifi`/`bt`/`core`).
     pub no_float_eq: bool,
     /// R6 applies (hot-path kernel crates: `dsp`/`wifi`/`coding`).
     pub hot_loop_alloc: bool,
-    /// R7 applies (library crates whose output belongs in telemetry:
-    /// `dsp`/`coding`/`wifi`/`bt`/`core`/`sim`/`apps`; binaries exempt).
+    /// R7 applies (library crates whose output belongs in telemetry;
+    /// binaries exempt).
     pub adhoc_print: bool,
+    /// R8 applies (every in-crate source; the layer table decides which
+    /// references are upward).
+    pub layering: bool,
+    /// R9 applies (atomics-bearing crates: `core`/`coding`/`dsp`).
+    pub atomics: bool,
 }
 
 /// Decides rule scope from a workspace-relative path like
@@ -166,45 +267,67 @@ pub fn scope_for(rel_path: &str) -> Scope {
     Scope {
         no_panics: !is_binary,
         no_unsafe: true,
-        doc_comments: !is_binary && matches!(krate, "dsp" | "wifi" | "core"),
+        doc_comments: !is_binary && matches!(krate, "dsp" | "wifi" | "core" | "analyze"),
         no_float_eq: !is_binary && matches!(krate, "dsp" | "wifi" | "bt" | "core"),
         hot_loop_alloc: !is_binary && matches!(krate, "dsp" | "wifi" | "coding"),
         adhoc_print: !is_binary
-            && matches!(krate, "dsp" | "coding" | "wifi" | "bt" | "core" | "sim" | "apps"),
+            && matches!(
+                krate,
+                "dsp" | "coding" | "wifi" | "bt" | "core" | "sim" | "apps" | "analyze"
+            ),
+        layering: true,
+        atomics: !is_binary && matches!(krate, "core" | "coding" | "dsp"),
     }
 }
 
-/// Runs every applicable source rule over one file's text.
-pub fn scan_source(rel_path: &str, text: &str) -> Vec<Diagnostic> {
+/// Runs every applicable per-file rule over one file's text and returns
+/// both fired and hatched findings. The cross-file rule R10 needs the
+/// whole workspace — use [`analyze_files`] for that.
+pub fn scan_source_full(rel_path: &str, text: &str) -> Findings {
     let scope = scope_for(rel_path);
     let file = SourceFile::parse(rel_path, text);
-    let mut out = Vec::new();
+    let index = items::index_file(&file);
+    let mut out = Findings::default();
     if scope.no_panics {
-        out.extend(rules::r1_no_panics(&file));
+        rules::r1_no_panics(&file, &mut out);
     }
     if scope.no_unsafe {
-        out.extend(rules::r2_no_unsafe(&file));
+        rules::r2_no_unsafe(&file, &mut out);
     }
     if scope.doc_comments {
-        out.extend(rules::r4_doc_comments(&file));
+        rules::r4_doc_comments(&file, &index, &mut out);
     }
     if scope.no_float_eq {
-        out.extend(rules::r5_no_float_eq(&file));
+        rules::r5_no_float_eq(&file, &mut out);
     }
     if scope.hot_loop_alloc {
-        out.extend(rules::r6_no_hot_loop_alloc(&file));
+        rules::r6_no_hot_loop_alloc(&file, &mut out);
     }
     if scope.adhoc_print {
-        out.extend(rules::r7_no_adhoc_print(&file));
+        rules::r7_no_adhoc_print(&file, &mut out);
+    }
+    if scope.layering {
+        rules::r8_crate_layering(&file, &index, &mut out);
+    }
+    if scope.atomics {
+        rules::r9_atomic_ordering(&file, &index, &mut out);
     }
     out
+}
+
+/// Back-compat shim: the fired findings of [`scan_source_full`]. The
+/// per-rule fixture tests and older callers key on this shape.
+pub fn scan_source(rel_path: &str, text: &str) -> Vec<Diagnostic> {
+    scan_source_full(rel_path, text).fired
 }
 
 /// The result of a full workspace pass.
 #[derive(Debug, Clone, Default)]
 pub struct Report {
-    /// Every finding, in path order.
+    /// Every finding that fired, in path order.
     pub diagnostics: Vec<Diagnostic>,
+    /// Every finding suppressed by an escape hatch, in path order.
+    pub hatched: Vec<Diagnostic>,
     /// Number of `.rs` files scanned.
     pub files_scanned: usize,
     /// Number of `Cargo.toml` manifests scanned.
@@ -212,15 +335,25 @@ pub struct Report {
 }
 
 impl Report {
-    /// True when no rule fired.
+    /// True when no rule fired (hatched findings do not dirty a report —
+    /// they are pinned separately by the gate).
     pub fn is_clean(&self) -> bool {
         self.diagnostics.is_empty()
     }
 
-    /// Findings per rule, in [`Rule::ALL`] order.
-    pub fn counts(&self) -> [usize; 7] {
-        let mut counts = [0usize; 7];
-        for d in &self.diagnostics {
+    /// Fired findings per rule, in [`Rule::ALL`] order.
+    pub fn counts(&self) -> [usize; 10] {
+        Self::count_by_rule(&self.diagnostics)
+    }
+
+    /// Hatched findings per rule, in [`Rule::ALL`] order.
+    pub fn hatch_counts(&self) -> [usize; 10] {
+        Self::count_by_rule(&self.hatched)
+    }
+
+    fn count_by_rule(diags: &[Diagnostic]) -> [usize; 10] {
+        let mut counts = [0usize; 10];
+        for d in diags {
             let idx = Rule::ALL.iter().position(|r| *r == d.rule).unwrap_or(0);
             counts[idx] += 1;
         }
@@ -228,7 +361,7 @@ impl Report {
     }
 
     /// One-line machine-readable summary, e.g.
-    /// `R1=0 R2=0 R3=0 R4=0 R5=0 R6=0 R7=0 total=0 files=58 manifests=10 status=clean`.
+    /// `R1=0 .. R10=0 total=0 hatched=16 files=58 manifests=10 status=clean`.
     pub fn summary(&self) -> String {
         let counts = self.counts();
         let per_rule: Vec<String> = Rule::ALL
@@ -237,9 +370,10 @@ impl Report {
             .map(|(r, c)| format!("{}={c}", r.code()))
             .collect();
         format!(
-            "{} total={} files={} manifests={} status={}",
+            "{} total={} hatched={} files={} manifests={} status={}",
             per_rule.join(" "),
             self.diagnostics.len(),
+            self.hatched.len(),
             self.files_scanned,
             self.manifests_scanned,
             if self.is_clean() { "clean" } else { "dirty" }
@@ -253,20 +387,113 @@ impl Report {
         for rule in Rule::ALL {
             let diags: Vec<&Diagnostic> =
                 self.diagnostics.iter().filter(|d| d.rule == rule).collect();
+            let hatched = self.hatched.iter().filter(|d| d.rule == rule).count();
             out.push_str(&format!(
-                "{} {:<18} {} finding(s)\n",
+                "{:<3} {:<28} {} finding(s), {} hatched\n",
                 rule.code(),
                 rule.name(),
-                diags.len()
+                diags.len(),
+                hatched
             ));
             for d in diags {
                 out.push_str(&format!("  {d}\n"));
+                if !d.chain.is_empty() {
+                    out.push_str(&format!("      chain: {}\n", d.chain.join(" => ")));
+                }
             }
         }
         out.push_str(&self.summary());
         out.push('\n');
         out
     }
+
+    /// Machine-readable JSON report (`bluefi-analyze/v1`), the interface
+    /// the tier-1 gate consumes:
+    ///
+    /// ```json
+    /// {
+    ///   "schema": "bluefi-analyze/v1",
+    ///   "status": "clean",
+    ///   "total": 0, "files": 58, "manifests": 10,
+    ///   "rules": [{"id": "R1", "name": "no-panic",
+    ///              "findings": 0, "hatched": 12}, ...],
+    ///   "diagnostics": [{"rule": "R10", "file": "...", "line": 7,
+    ///                    "message": "...", "chain": ["a::f", "a::g"]}],
+    ///   "hatched": [{"rule": "R1", "file": "...", "line": 3}]
+    /// }
+    /// ```
+    ///
+    /// Rule ids and names are stable; `rules` always lists all ten in
+    /// order, so consumers may index as well as key by id.
+    pub fn to_json(&self) -> Json {
+        let counts = self.counts();
+        let hatch_counts = self.hatch_counts();
+        let rules: Vec<Json> = Rule::ALL
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                Json::obj(vec![
+                    ("id", Json::Str(r.code().to_string())),
+                    ("name", Json::Str(r.name().to_string())),
+                    ("findings", Json::Num(counts[i] as f64)),
+                    ("hatched", Json::Num(hatch_counts[i] as f64)),
+                ])
+            })
+            .collect();
+        let diag_json = |d: &Diagnostic, with_message: bool| {
+            let mut fields = vec![
+                ("rule", Json::Str(d.rule.code().to_string())),
+                ("file", Json::Str(d.file.clone())),
+                ("line", Json::Num(d.line as f64)),
+            ];
+            if with_message {
+                fields.push(("message", Json::Str(d.message.clone())));
+                if !d.chain.is_empty() {
+                    fields.push((
+                        "chain",
+                        Json::Arr(d.chain.iter().map(|c| Json::Str(c.clone())).collect()),
+                    ));
+                }
+            }
+            Json::obj(fields)
+        };
+        Json::obj(vec![
+            ("schema", Json::Str("bluefi-analyze/v1".to_string())),
+            (
+                "status",
+                Json::Str(if self.is_clean() { "clean" } else { "dirty" }.to_string()),
+            ),
+            ("total", Json::Num(self.diagnostics.len() as f64)),
+            ("files", Json::Num(self.files_scanned as f64)),
+            ("manifests", Json::Num(self.manifests_scanned as f64)),
+            ("rules", Json::Arr(rules)),
+            (
+                "diagnostics",
+                Json::Arr(self.diagnostics.iter().map(|d| diag_json(d, true)).collect()),
+            ),
+            (
+                "hatched",
+                Json::Arr(self.hatched.iter().map(|d| diag_json(d, false)).collect()),
+            ),
+        ])
+    }
+}
+
+/// Runs the full multi-pass pipeline — per-file rules R1–R9 plus the
+/// cross-file call-graph rule R10 — over in-memory `(rel_path, text)`
+/// pairs. This is the core of [`analyze_workspace`] and the entry point
+/// the R10 fixtures use.
+pub fn analyze_files(files: &[(String, String)]) -> Findings {
+    let mut out = Findings::default();
+    let mut analyzed = Vec::with_capacity(files.len());
+    for (rel, text) in files {
+        out.extend(scan_source_full(rel, text));
+        let source = SourceFile::parse(rel, text);
+        let index = items::index_file(&source);
+        analyzed.push(callgraph::AnalyzedFile { source, index });
+    }
+    callgraph::r10_transitive_alloc(&analyzed, &mut out);
+    out
 }
 
 /// Scans the whole workspace rooted at `root` (the directory holding the
@@ -275,8 +502,10 @@ impl Report {
 pub fn analyze_workspace(root: &Path) -> Result<Report, String> {
     let mut report = Report::default();
 
-    // Sources.
+    // Sources: load the whole tree, then run the multi-pass pipeline so
+    // R10 sees every crate at once.
     let crates_dir = root.join("crates");
+    let mut sources: Vec<(String, String)> = Vec::new();
     for crate_dir in sorted_dirs(&crates_dir)? {
         let src = crate_dir.join("src");
         if !src.is_dir() {
@@ -286,12 +515,16 @@ pub fn analyze_workspace(root: &Path) -> Result<Report, String> {
             let rel = relative_to(&file, root);
             let text = std::fs::read_to_string(&file)
                 .map_err(|e| format!("cannot read {}: {e}", file.display()))?;
-            report.diagnostics.extend(scan_source(&rel, &text));
-            report.files_scanned += 1;
+            sources.push((rel, text));
         }
     }
+    report.files_scanned = sources.len();
+    let findings = analyze_files(&sources);
+    report.diagnostics = findings.fired;
+    report.hatched = findings.hatched;
 
-    // Manifests: workspace root + one per crate.
+    // Manifests: workspace root + one per crate. R3 (hermetic deps) plus
+    // the R8 manifest-level layering check.
     let mut manifest_paths = vec![root.join("Cargo.toml")];
     for crate_dir in sorted_dirs(&crates_dir)? {
         let m = crate_dir.join("Cargo.toml");
@@ -304,12 +537,13 @@ pub fn analyze_workspace(root: &Path) -> Result<Report, String> {
         let text = std::fs::read_to_string(&m)
             .map_err(|e| format!("cannot read {}: {e}", m.display()))?;
         report.diagnostics.extend(manifests::scan_manifest(&rel, &text));
+        report.diagnostics.extend(manifests::scan_manifest_layering(&rel, &text));
         report.manifests_scanned += 1;
     }
 
-    report
-        .diagnostics
-        .sort_by(|a, b| (a.file.as_str(), a.line).cmp(&(b.file.as_str(), b.line)));
+    let key = |d: &Diagnostic| (d.file.clone(), d.line, d.rule.code());
+    report.diagnostics.sort_by_key(key);
+    report.hatched.sort_by_key(key);
     Ok(report)
 }
 
@@ -362,23 +596,26 @@ mod tests {
     fn scope_rules() {
         let s = scope_for("crates/dsp/src/fft.rs");
         assert!(s.no_panics && s.no_unsafe && s.doc_comments && s.no_float_eq);
-        assert!(s.hot_loop_alloc);
+        assert!(s.hot_loop_alloc && s.layering && s.atomics);
         let s = scope_for("crates/coding/src/viterbi.rs");
-        assert!(s.hot_loop_alloc && !s.doc_comments);
+        assert!(s.hot_loop_alloc && !s.doc_comments && s.atomics);
         let s = scope_for("crates/core/src/pipeline.rs");
-        assert!(!s.hot_loop_alloc && s.no_float_eq);
+        assert!(!s.hot_loop_alloc && s.no_float_eq && s.atomics);
         let s = scope_for("crates/sim/src/mac.rs");
         assert!(s.no_panics && s.no_unsafe && !s.doc_comments && !s.no_float_eq);
-        assert!(!s.hot_loop_alloc && s.adhoc_print);
+        assert!(!s.hot_loop_alloc && s.adhoc_print && s.layering && !s.atomics);
         let s = scope_for("crates/bench/src/bin/fig5_distance.rs");
         assert!(!s.no_panics && s.no_unsafe && !s.doc_comments && !s.hot_loop_alloc);
         assert!(!s.adhoc_print, "binaries may print");
+        assert!(s.layering, "binaries still respect the layer DAG");
         let s = scope_for("crates/bench/src/lib.rs");
         assert!(!s.adhoc_print, "the bench reporter prints by design");
         let s = scope_for("crates/apps/src/audio.rs");
         assert!(s.adhoc_print);
+        let s = scope_for("crates/analyze/src/rules.rs");
+        assert!(s.doc_comments && s.adhoc_print, "the analyzer lints itself");
         let s = scope_for("tests/e2e_audio.rs");
-        assert!(!s.no_panics && !s.no_unsafe);
+        assert!(!s.no_panics && !s.no_unsafe && !s.layering);
     }
 
     #[test]
@@ -386,9 +623,38 @@ mod tests {
         let mut r = Report { files_scanned: 3, manifests_scanned: 2, ..Default::default() };
         assert_eq!(
             r.summary(),
-            "R1=0 R2=0 R3=0 R4=0 R5=0 R6=0 R7=0 total=0 files=3 manifests=2 status=clean"
+            "R1=0 R2=0 R3=0 R4=0 R5=0 R6=0 R7=0 R8=0 R9=0 R10=0 \
+             total=0 hatched=0 files=3 manifests=2 status=clean"
         );
         r.diagnostics.push(Diagnostic::new(Rule::NoPanics, "x.rs", 1, "m".into()));
-        assert!(r.summary().contains("R1=1") && r.summary().ends_with("status=dirty"));
+        r.hatched.push(Diagnostic::new(Rule::NoPanics, "x.rs", 2, "m".into()));
+        assert!(r.summary().contains("R1=1") && r.summary().contains("hatched=1"));
+        assert!(r.summary().ends_with("status=dirty"));
+    }
+
+    #[test]
+    fn json_report_matches_schema() {
+        let mut r = Report { files_scanned: 3, manifests_scanned: 2, ..Default::default() };
+        r.diagnostics.push(Diagnostic::with_chain(
+            Rule::TransitiveAlloc,
+            "crates/dsp/src/x.rs",
+            7,
+            "m".into(),
+            vec!["dsp::f".into(), "dsp::g".into()],
+        ));
+        let j = r.to_json();
+        assert_eq!(j.get("schema").and_then(Json::as_str), Some("bluefi-analyze/v1"));
+        assert_eq!(j.get("status").and_then(Json::as_str), Some("dirty"));
+        assert_eq!(j.get("total").and_then(Json::as_f64), Some(1.0));
+        let rules = j.get("rules").and_then(Json::as_arr).expect("rules array");
+        assert_eq!(rules.len(), 10);
+        assert_eq!(rules[9].get("id").and_then(Json::as_str), Some("R10"));
+        assert_eq!(rules[9].get("findings").and_then(Json::as_f64), Some(1.0));
+        let diags = j.get("diagnostics").and_then(Json::as_arr).expect("diagnostics");
+        let chain = diags[0].get("chain").and_then(Json::as_arr).expect("chain");
+        assert_eq!(chain.len(), 2);
+        // Round-trips through the parser.
+        let parsed = Json::parse(&j.render()).expect("self-render parses");
+        assert_eq!(parsed.get("total").and_then(Json::as_f64), Some(1.0));
     }
 }

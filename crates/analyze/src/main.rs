@@ -1,12 +1,23 @@
 //! `cargo run -p bluefi-analyze` — prints the full lint report for the
 //! workspace and exits nonzero when any rule fires, so it can double as a
-//! local pre-push check. The same pass runs under `cargo test` via
-//! `tests/analyze_gate.rs`.
+//! local pre-push check. With `--json` it prints the machine-readable
+//! `bluefi-analyze/v1` report instead (the same document the tier-1 gate
+//! consumes in `tests/analyze_gate.rs`).
 
 use std::path::Path;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
+    let mut json = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            other => {
+                eprintln!("bluefi-analyze: unknown flag `{other}` (supported: --json)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     // The analyze crate lives at `<workspace>/crates/analyze`.
     let manifest_dir = Path::new(env!("CARGO_MANIFEST_DIR"));
     let root = manifest_dir
@@ -15,7 +26,11 @@ fn main() -> ExitCode {
         .unwrap_or(manifest_dir);
     match bluefi_analyze::analyze_workspace(root) {
         Ok(report) => {
-            print!("{}", report.render());
+            if json {
+                println!("{}", report.to_json().render());
+            } else {
+                print!("{}", report.render());
+            }
             if report.is_clean() {
                 ExitCode::SUCCESS
             } else {

@@ -92,6 +92,54 @@ pub fn scan_manifest(rel_path: &str, text: &str) -> Vec<Diagnostic> {
     out
 }
 
+/// R8 at the manifest level: in `crates/<k>/Cargo.toml`, every `bluefi-*`
+/// entry under `[dependencies]` must sit strictly *below* `<k>` in the
+/// layer DAG ([`crate::callgraph::LAYERS`]). `[dev-dependencies]` are
+/// exempt — test-only upward edges (e.g. `dsp` testing against
+/// `bluefi-core`) do not constrain the shipped dependency graph. The
+/// workspace-root manifest only aggregates and is skipped.
+pub fn scan_manifest_layering(rel_path: &str, text: &str) -> Vec<Diagnostic> {
+    use crate::callgraph::layer_of;
+    let norm = rel_path.replace('\\', "/");
+    let mut parts = norm.split('/');
+    let krate = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some("crates"), Some(k), Some("Cargo.toml"), None) => k,
+        _ => return Vec::new(),
+    };
+    let Some(crate_layer) = layer_of(krate) else { return Vec::new() };
+    let mut out = Vec::new();
+    let mut in_plain_deps = false;
+    for (lineno, line) in text.lines().enumerate() {
+        let trimmed = line.trim();
+        if trimmed.starts_with('[') {
+            let header = trimmed.trim_matches(|c| c == '[' || c == ']');
+            in_plain_deps = header == "dependencies";
+            continue;
+        }
+        if !in_plain_deps {
+            continue;
+        }
+        let Some(name) = dep_name(trimmed) else { continue };
+        let Some(target) = name.strip_prefix("bluefi-") else { continue };
+        let Some(target_layer) = layer_of(target) else { continue };
+        if target_layer >= crate_layer {
+            let relation =
+                if target_layer == crate_layer { "a sibling on the same layer" } else { "above" };
+            out.push(Diagnostic::new(
+                Rule::CrateLayering,
+                rel_path,
+                lineno + 1,
+                format!(
+                    "`{name}` is {relation} `{krate}` in the layer DAG — shipped \
+                     `[dependencies]` must point strictly downward \
+                     (dev-dependencies are exempt)"
+                ),
+            ));
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -141,5 +189,27 @@ mod tests {
         let text = "[dev-dependencies]\nproptest = \"1\"\n[target.'cfg(unix)'.dependencies]\nlibc = \"0.2\"\n";
         let d = scan_manifest("Cargo.toml", text);
         assert_eq!(d.len(), 3); // proptest (x2: dep + banned) + libc
+    }
+
+    #[test]
+    fn layering_flags_upward_shipped_deps_only() {
+        // dsp (layer 0) shipping a dep on core (layer 3): upward, flagged.
+        let text = "[dependencies]\nbluefi-core.workspace = true\n";
+        let d = scan_manifest_layering("crates/dsp/Cargo.toml", text);
+        assert_eq!(d.len(), 1, "{d:#?}");
+        assert_eq!(d[0].line, 2);
+        // The same edge as a dev-dependency is a legitimate test-only edge.
+        let dev = "[dev-dependencies]\nbluefi-core.workspace = true\n";
+        assert!(scan_manifest_layering("crates/dsp/Cargo.toml", dev).is_empty());
+        // Downward dep: fine. Sibling (wifi -> bt, both layer 2): flagged.
+        let down = "[dependencies]\nbluefi-dsp.workspace = true\n";
+        assert!(scan_manifest_layering("crates/core/Cargo.toml", down).is_empty());
+        let sib = "[dependencies]\nbluefi-bt.workspace = true\n";
+        let d = scan_manifest_layering("crates/wifi/Cargo.toml", sib);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("sibling"));
+        // The workspace root only aggregates members.
+        let root = "[workspace.dependencies]\nbluefi-core = { path = \"crates/core\" }\n";
+        assert!(scan_manifest_layering("Cargo.toml", root).is_empty());
     }
 }

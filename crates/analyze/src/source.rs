@@ -127,11 +127,16 @@ impl SourceFile {
                         }
                     }
                     if c == '\'' {
-                        // Distinguish a char literal from a lifetime.
+                        // Distinguish a char literal from a lifetime: an
+                        // escape (`'\n'`) or any single char followed by a
+                        // closing quote (`'x'`, `'{'`) is a literal. A
+                        // lifetime (`'a`) never carries a closing quote, so
+                        // no extra exclusions are needed — an earlier guard
+                        // that exempted `'{'` leaked its brace into the
+                        // code view and corrupted brace-depth tracking.
                         let n1 = chars.get(i + 1).copied();
                         let n2 = chars.get(i + 2).copied();
-                        let is_char = n1 == Some('\\')
-                            || (n1.is_some() && n1 != Some('{') && n2 == Some('\''));
+                        let is_char = n1 == Some('\\') || (n1.is_some() && n2 == Some('\''));
                         if is_char {
                             code.push('\'');
                             state = State::Char;
@@ -367,5 +372,89 @@ mod tests {
         assert_eq!(f.lines[1].allows, vec!["panic".to_string()]);
         assert!(f.lines[2].allows.is_empty(), "reason is mandatory");
         assert_eq!(f.lines[3].allows, vec!["panic".to_string()]);
+    }
+
+    #[test]
+    fn brace_char_literals_do_not_leak_braces() {
+        // `'{'` / `'}'` are char literals, not lifetimes; their braces must
+        // be blanked or brace-depth tracking (cfg-test regions, R6 loop
+        // bodies) drifts for the rest of the file. Regression: an old
+        // lifetime heuristic exempted `'{'` specifically.
+        let f = SourceFile::parse("x.rs", "match c { '{' => a(), '}' => b(), _ => c() }");
+        assert!(!f.lines[0].code.contains("'{'"), "{:?}", f.lines[0].code);
+        let depth: i64 = f.lines[0]
+            .code
+            .chars()
+            .map(|c| match c {
+                '{' => 1,
+                '}' => -1,
+                _ => 0,
+            })
+            .sum();
+        assert_eq!(depth, 0, "balanced braces after blanking: {:?}", f.lines[0].code);
+        // ...and the region tracker stays correct downstream of one.
+        let src = "const OPEN: char = '{';\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn after() {}";
+        let f = SourceFile::parse("x.rs", src);
+        let flags: Vec<bool> = f.lines.iter().map(|l| l.in_test).collect();
+        assert_eq!(flags, vec![false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn multi_hash_raw_strings_and_byte_strings_are_blanked() {
+        let f = SourceFile::parse(
+            "x.rs",
+            "let a = r##\"quote \"# then panic!\"##; let b = br#\"unwrap()\"#; tail();",
+        );
+        assert!(!f.lines[0].code.contains("panic"), "{:?}", f.lines[0].code);
+        assert!(!f.lines[0].code.contains("unwrap"), "{:?}", f.lines[0].code);
+        assert!(f.lines[0].code.contains("tail()"));
+        // An identifier ending in `r` (`var`) is not a raw-string prefix.
+        let f = SourceFile::parse("x.rs", "let var = 1; var\"\";");
+        assert!(f.lines[0].code.contains("var"));
+    }
+
+    #[test]
+    fn nested_block_comments_track_depth() {
+        let src = "/* outer /* inner unwrap() */ still comment panic! */ live();";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(!f.lines[0].code.contains("unwrap"));
+        assert!(!f.lines[0].code.contains("panic"));
+        assert!(f.lines[0].code.contains("live()"));
+        assert!(f.lines[0].comment.contains("inner"));
+    }
+
+    #[test]
+    fn escaped_quote_chars_and_escaped_backslash() {
+        // `'\''` (escaped quote) and `'\\'` (escaped backslash) both close
+        // properly; following code stays visible.
+        let f = SourceFile::parse("x.rs", "let q = '\\''; let b = '\\\\'; after();");
+        assert!(f.lines[0].code.contains("after()"), "{:?}", f.lines[0].code);
+        // A string containing an escaped quote does not end early.
+        let f = SourceFile::parse("x.rs", "let s = \"a\\\"b panic!\"; after();");
+        assert!(!f.lines[0].code.contains("panic"));
+        assert!(f.lines[0].code.contains("after()"));
+    }
+
+    #[test]
+    fn hatches_on_stacked_comment_lines_all_cover_the_next_code_line() {
+        let src = "// lint: allow(panic) checked by caller\n\
+                   // lint: allow(r6) buffer is 8 bytes, cold path\n\
+                   let x = risky();\nlet y = 1;";
+        let f = SourceFile::parse("x.rs", src);
+        let mut allows = f.lines[2].allows.clone();
+        allows.sort();
+        assert_eq!(allows, vec!["panic".to_string(), "r6".to_string()]);
+        assert!(f.lines[3].allows.is_empty(), "coverage stops at the code line");
+    }
+
+    #[test]
+    fn cfg_test_tracks_braces_across_impl_blocks() {
+        // The test region covers exactly the annotated impl, not the next
+        // one — even with nested fn braces inside.
+        let src = "#[cfg(test)]\nimpl Harness {\n    fn run(&self) {\n        if x { y(); }\n    }\n}\n\
+                   impl Live {\n    fn hot(&self) {}\n}";
+        let f = SourceFile::parse("x.rs", src);
+        let flags: Vec<bool> = f.lines.iter().map(|l| l.in_test).collect();
+        assert_eq!(flags, vec![true, true, true, true, true, true, false, false, false]);
     }
 }

@@ -1,0 +1,22 @@
+// R10 fixture, hot layer (scanned as a wifi source): a hot loop calling
+// a direct allocator (1-hop chain) and a cross-crate relay (multi-hop
+// chain wifi -> coding -> dsp). Never compiled.
+
+use bluefi_coding::r10_mid::relay;
+
+fn direct_alloc() -> Vec<u8> {
+    Vec::with_capacity(16)
+}
+
+fn hot(n: usize) {
+    for i in 0..n {
+        let a = direct_alloc(); // FLAGGED (line 13): 1-hop chain
+        let b = relay(i); // FLAGGED (line 14): multi-hop chain to dsp's vec!
+        // lint: allow(r10) cold fallback, bounded by the retry budget
+        let c = relay(i); // hatched: silent
+        let s = bluefi_dsp::r10_leaf::sum(&b); // allocation-free callee: fine
+        drop((a, b, c, s));
+    }
+    let outside = relay(n); // outside the loop: fine
+    drop(outside);
+}

@@ -1,0 +1,16 @@
+// R10 fixture, leaf layer (scanned as a dsp source): the allocating
+// helper the chain bottoms out in. Never compiled.
+
+/// Allocates a fresh buffer every call.
+pub fn fresh_buf(n: usize) -> Vec<f64> {
+    vec![0.0; n]
+}
+
+/// Allocation-free helper.
+pub fn sum(xs: &[f64]) -> f64 {
+    let mut s = 0.0;
+    for &x in xs {
+        s += x;
+    }
+    s
+}

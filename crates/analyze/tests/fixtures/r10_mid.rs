@@ -1,0 +1,7 @@
+// R10 fixture, middle layer (scanned as a coding source): relays the
+// dsp allocation one hop up — allocates transitively, never directly.
+// Never compiled.
+
+pub fn relay(n: usize) -> Vec<f64> {
+    bluefi_dsp::r10_leaf::fresh_buf(n)
+}

@@ -1,5 +1,5 @@
-//! R4 fixture: one undocumented `pub fn`; documented, attribute-stacked,
-//! and restricted-visibility functions must all pass.
+//! R4 fixture: undocumented fully-public functions; documented,
+//! attribute-stacked, and restricted-visibility functions must all pass.
 
 /// Documented.
 pub fn documented() {}
@@ -14,3 +14,18 @@ pub fn attributed() -> u32 {
 }
 
 pub(crate) fn restricted() {}
+
+pub(super) fn upward_restricted() {}
+
+pub(in crate::detail) fn path_restricted() {}
+
+pub struct Api;
+
+impl Api {
+    pub fn method_bare(&self) {}
+
+    /// Documented method.
+    pub fn method_documented(&self) {}
+
+    pub(crate) fn method_internal(&self) {}
+}

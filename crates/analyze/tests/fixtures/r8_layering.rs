@@ -1,0 +1,18 @@
+// R8 fixture (scanned as a wifi source): upward and sibling crate
+// references against the layer DAG. Never compiled.
+
+use bluefi_dsp::fft::fft_plan; // downward: fine
+use bluefi_core::telemetry::Counter; // FLAGGED (line 5): upward
+use bluefi_bt::gfsk::modulate; // FLAGGED (line 6): sibling layer
+
+// lint: allow(layering) doc-generation helper, not a shipped edge
+use bluefi_sim::mac::Slot; // hatched: silent
+
+fn peek() -> usize {
+    bluefi_apps::audio::latency_samples() // FLAGGED (line 12): upward path
+}
+
+#[cfg(test)]
+mod tests {
+    use bluefi_core::json::Json; // dev-dependency edge: exempt in test code
+}

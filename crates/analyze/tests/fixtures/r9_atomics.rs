@@ -1,0 +1,46 @@
+// R9 fixture (scanned as a core source): strong orderings and
+// load->store lost-update windows. Never compiled.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn strong_orderings(a: &AtomicU64) {
+    a.store(1, Ordering::SeqCst); // FLAGGED (line 7): unjustified fence
+    // lint: allow(atomic-ordering) init handshake publishes before spawn
+    a.store(2, Ordering::AcqRel); // hatched: silent
+    a.store(3, Ordering::Relaxed); // fine
+}
+
+fn lost_update(c: &AtomicU64) {
+    let v = c.load(Ordering::Relaxed);
+    c.store(v + 1, Ordering::Relaxed); // FLAGGED (line 15): racy two-step RMW
+}
+
+fn self_feeding_store(c: &AtomicU64) {
+    c.store(c.load(Ordering::Relaxed) + 1, Ordering::Relaxed); // FLAGGED (line 19)
+}
+
+fn proper_rmw(c: &AtomicU64) {
+    c.fetch_add(1, Ordering::Relaxed); // fine: atomic read-modify-write
+}
+
+fn distinct_atomics(c: &AtomicU64, d: &AtomicU64) {
+    let v = c.load(Ordering::Relaxed);
+    d.store(v, Ordering::Relaxed); // different receiver: fine
+}
+
+fn far_apart(c: &AtomicU64) {
+    let v = c.load(Ordering::Relaxed);
+    let a = v + 1;
+    let b = a * 2;
+    let z = b ^ a;
+    let w = z.rotate_left(1);
+    c.store(w, Ordering::Relaxed); // > 3 statements after the load: fine
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    fn test_code_is_exempt(a: &AtomicU64) {
+        a.store(9, Ordering::SeqCst);
+    }
+}

@@ -12,8 +12,19 @@
 const G15_10: u16 = 0b1_0101; // D^4 + D^2 + 1 terms below D^5
 
 /// Encodes exactly 10 data bits into a 15-bit codeword
-/// (10 data bits followed by 5 parity bits).
+/// (10 data bits followed by 5 parity bits). Thin shim over
+/// [`encode15_10_into`].
 pub fn encode15_10(data: &[bool]) -> Vec<bool> {
+    let mut out = Vec::with_capacity(15);
+    encode15_10_into(data, &mut out);
+    out
+}
+
+/// Appends the 15-bit codeword for exactly 10 data bits to `out` — the
+/// allocation-free core of [`encode15_10`], used per block by
+/// [`encode_r23_fec`] so the stream encoder never allocates inside its
+/// block loop.
+pub fn encode15_10_into(data: &[bool], out: &mut Vec<bool>) {
     assert_eq!(data.len(), 10);
     // Systematic encoding by polynomial division: parity = (data · D⁵) mod g.
     let mut reg: u16 = 0; // 5-bit remainder register
@@ -24,11 +35,10 @@ pub fn encode15_10(data: &[bool]) -> Vec<bool> {
             reg ^= G15_10 & 0x1F;
         }
     }
-    let mut out = data.to_vec();
+    out.extend_from_slice(data);
     for i in (0..5).rev() {
         out.push((reg >> i) & 1 == 1);
     }
-    out
 }
 
 /// Encodes an arbitrary bit stream with the rate-2/3 FEC. The stream is
@@ -42,7 +52,7 @@ pub fn encode_r23_fec(bits: &[bool]) -> Vec<bool> {
     }
     let mut out = Vec::with_capacity(padded.len() * 3 / 2);
     for block in padded.chunks_exact(10) {
-        out.extend(encode15_10(block));
+        encode15_10_into(block, &mut out);
     }
     out
 }
@@ -59,7 +69,19 @@ pub enum BlockStatus {
 }
 
 /// Decodes one 15-bit block; returns the 10 data bits and the status.
+/// Thin shim over [`decode15_10_into`].
 pub fn decode15_10(block: &[bool]) -> (Vec<bool>, BlockStatus) {
+    let mut out = Vec::with_capacity(10);
+    let status = decode15_10_into(block, &mut out);
+    (out, status)
+}
+
+/// Appends the 10 decoded data bits of one 15-bit block to `out` and
+/// returns the block status — the allocation-free core of
+/// [`decode15_10`], used per block by [`decode_r23_fec`]. On
+/// [`BlockStatus::Failed`] the raw (uncorrected) data bits are appended,
+/// matching the shim's behavior.
+pub fn decode15_10_into(block: &[bool], out: &mut Vec<bool>) -> BlockStatus {
     assert_eq!(block.len(), 15);
     // Compute the syndrome: divide the entire received word by g.
     let mut reg: u16 = 0;
@@ -70,8 +92,10 @@ pub fn decode15_10(block: &[bool]) -> (Vec<bool>, BlockStatus) {
             reg ^= G15_10 & 0x1F;
         }
     }
+    let start = out.len();
+    out.extend_from_slice(&block[..10]);
     if reg == 0 {
-        return (block[..10].to_vec(), BlockStatus::Clean);
+        return BlockStatus::Clean;
     }
     // Single-error syndromes: flipping position p yields the syndrome of
     // the unit vector at p. Precompute by running a unit vector through the
@@ -93,13 +117,12 @@ pub fn decode15_10(block: &[bool]) -> (Vec<bool>, BlockStatus) {
     }
     if let Some(p) = hit {
         // A parity-position error (p >= 10) leaves the data bits intact.
-        let mut data = block[..10].to_vec();
         if p < 10 {
-            data[p] = !data[p];
+            out[start + p] = !out[start + p];
         }
-        return (data, BlockStatus::Corrected);
+        return BlockStatus::Corrected;
     }
-    (block[..10].to_vec(), BlockStatus::Failed)
+    BlockStatus::Failed
 }
 
 /// Decodes a rate-2/3 FEC stream; returns data bits and `true` when all
@@ -109,11 +132,9 @@ pub fn decode_r23_fec(bits: &[bool]) -> (Vec<bool>, bool) {
     let mut out = Vec::with_capacity(bits.len() / 15 * 10);
     let mut ok = true;
     for block in bits.chunks_exact(15) {
-        let (data, status) = decode15_10(block);
-        if status == BlockStatus::Failed {
+        if decode15_10_into(block, &mut out) == BlockStatus::Failed {
             ok = false;
         }
-        out.extend(data);
     }
     (out, ok)
 }

@@ -161,6 +161,7 @@ pub fn protected_mask(n_tx: usize, edge: FreeEdge) -> Vec<bool> {
             if phase_of(t) != phase || mask[t] {
                 continue;
             }
+            // lint: allow(r10) one-shot mask construction, amortized by RealtimePlan
             let mut row = symbolic_row(t, &taps_a, &taps_b);
             // Reduce symbolically; accept iff independent.
             loop {
@@ -171,6 +172,7 @@ pub fn protected_mask(n_tx: usize, edge: FreeEdge) -> Vec<bool> {
                         Some(prow) => {
                             let prow = prow.clone();
                             let mut eq = Eq { unknowns: row, rhs: false };
+                            // lint: allow(r10) sparse GF(2) rows are variable-length; the Vec is the row
                             eq.xor_with(&Eq { unknowns: prow, rhs: false });
                             row = eq.unknowns;
                         }
@@ -277,6 +279,7 @@ impl RealtimeDecoder {
             if !protected[t] {
                 continue;
             }
+            // lint: allow(r10) sparse GF(2) rows are variable-length; the Vec is the row
             let mut eq = Eq { unknowns: symbolic_row(t, &taps_a, &taps_b), rhs: target[t] };
             loop {
                 let pivot = if asc { eq.unknowns.last() } else { eq.unknowns.first() };
@@ -290,6 +293,7 @@ impl RealtimeDecoder {
                     Some(&p) => match &pivot_rows[p as usize] {
                         Some(row) => {
                             let row = row.clone();
+                            // lint: allow(r10) sparse row merge; see RealtimePlan for the cached path
                             eq.xor_with(&row);
                         }
                         None => {
@@ -387,6 +391,7 @@ impl RealtimePlan {
             if !mask[t] {
                 continue;
             }
+            // lint: allow(r10) one-shot plan construction, amortized across decodes
             let mut unknowns = symbolic_row(t, &taps_a, &taps_b);
             let mut rhs_deps = Vec::new();
             loop {
@@ -398,6 +403,7 @@ impl RealtimePlan {
                             rhs_deps.push(ri);
                             let other = rows[ri as usize].unknowns.clone();
                             let mut eq = Eq { unknowns, rhs: false };
+                            // lint: allow(r10) one-shot plan construction, amortized across decodes
                             eq.xor_with(&Eq { unknowns: other, rhs: false });
                             unknowns = eq.unknowns;
                         }

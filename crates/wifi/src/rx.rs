@@ -14,7 +14,7 @@
 use crate::interleaver::Interleaver;
 use crate::mcs::Mcs;
 use crate::ofdm::GuardInterval;
-use crate::qam::demap_point;
+use crate::qam::demap_point_into;
 use crate::subcarriers::{data_subcarriers, FFT_SIZE};
 use bluefi_coding::lfsr::{recover_seed, scramble};
 use bluefi_coding::puncture::CodeRate;
@@ -84,6 +84,8 @@ pub fn decode_data_field(iq: &[Cx], mcs: Mcs, gi: GuardInterval) -> Result<RxFra
     let mut coded = Vec::with_capacity(n_sym * il.block_len());
     let mut buf: Vec<Cx> = Vec::with_capacity(FFT_SIZE);
     let mut interleaved = Vec::with_capacity(il.block_len());
+    let mut point_bits: Vec<bool> = Vec::with_capacity(6);
+    let mut deinterleaved: Vec<bool> = Vec::with_capacity(il.block_len());
     for s in 0..n_sym {
         let body = &iq[s * sym_len + gi.len()..s * sym_len + sym_len];
         buf.clear();
@@ -92,10 +94,12 @@ pub fn decode_data_field(iq: &[Cx], mcs: Mcs, gi: GuardInterval) -> Result<RxFra
         interleaved.clear();
         for &sc in data_subcarriers().iter() {
             let x = buf[bin_of_subcarrier(sc, FFT_SIZE)];
-            interleaved.extend(demap_point(mcs.modulation, x));
+            demap_point_into(mcs.modulation, x, &mut point_bits);
+            interleaved.extend_from_slice(&point_bits);
         }
         debug_assert_eq!(interleaved.len(), 52 * nbpsc);
-        coded.extend(il.deinterleave(&interleaved));
+        il.deinterleave_into(&interleaved, &mut deinterleaved);
+        coded.extend_from_slice(&deinterleaved);
     }
 
     // FEC decode (hard decisions; the simulated link is clean).

@@ -153,6 +153,7 @@ impl TxScratch {
         let mut symbol = std::mem::take(&mut self.symbol);
         let mut prev_ext: Option<Cx> = None;
         for (n, chunk) in coded.chunks_exact(ncbps).enumerate() {
+            // lint: allow(r10) interleaver comes from the one-entry cache; Interleaver::new runs only on modulation change
             self.symbol_spectrum_into(chunk, cfg.mcs, n, &mut spectrum);
             modulate_symbol_into(&plan, &spectrum, cfg.gi, &mut symbol);
             append_symbol(out, &symbol, cfg.gi, cfg.windowing, prev_ext);
