@@ -19,8 +19,10 @@ use bluefi_bench::{arg_str, arg_usize, Reporter};
 use bluefi_bt::ble::{adv_air_bits, AdvPdu, AdvPduType};
 use bluefi_core::json::Json;
 use bluefi_core::par::{clamped_workers, host_cpus, worker_count, BatchJob, SynthesisBatch};
-use bluefi_core::pipeline::{BlueFi, SynthesisScratch};
+use bluefi_core::pipeline::{BlueFi, PhaseMode, SynthesisScratch};
+use bluefi_core::reversal::DecodeStrategy;
 use bluefi_core::telemetry::{self, Level, SpanKind};
+use bluefi_core::template::{CachedEngine, CachedScratch};
 use bluefi_dsp::contracts;
 use bluefi_dsp::power::{mean, percentile_sorted};
 use bluefi_wifi::channels::{bt_channel_freq_hz, plan_channel, usable_bt_channels_in_wifi};
@@ -223,6 +225,101 @@ fn main() {
         ]));
     }
 
+    // -- Beacon-fleet template cache --------------------------------------
+    // The production beacon-fleet shape: one payload class per key, with a
+    // rotating counter in the trailing byte. The first synthesis caches a
+    // template; every later packet takes the GF(2) delta-patch path
+    // (`core::template`), which must be an order of magnitude faster than
+    // cold synthesis while staying bit-exact (conformance pins exactness).
+    let fleet_bf = BlueFi {
+        strategy: DecodeStrategy::Realtime,
+        phase: PhaseMode::Anchored,
+        ..BlueFi::default()
+    };
+    let n_fleet = trials.clamp(20, 120);
+    let fleet_base = bits.clone();
+    let fleet_packet = |counter: usize| -> Vec<bool> {
+        let mut b = fleet_base.clone();
+        let n = b.len();
+        let c = (counter % 256) as u8;
+        for bit in 0..8 {
+            b[n - 8 + bit] ^= c >> bit & 1 == 1;
+        }
+        b
+    };
+    let fleet_payloads: Vec<Vec<bool>> = (0..n_fleet).map(fleet_packet).collect();
+
+    // Cold baseline: the identical anchored real-time pipeline, no cache.
+    let mut fleet_cold_scratch = SynthesisScratch::new();
+    fleet_bf.synthesize_at_with(&fleet_payloads[0], plan, 71, &mut fleet_cold_scratch);
+    let fleet_cold_us: Vec<f64> = fleet_payloads
+        .iter()
+        .map(|b| {
+            let t0 = Instant::now();
+            std::hint::black_box(fleet_bf.synthesize_at_with(b, plan, 71, &mut fleet_cold_scratch));
+            t0.elapsed().as_secs_f64() * 1e6
+        })
+        .collect();
+
+    // Patch latency: prime the template and warm every buffer on the same
+    // mutation set, then time each cache-hit packet individually.
+    let fleet_engine = CachedEngine::new(fleet_bf.clone());
+    let mut fleet_scratch = CachedScratch::new();
+    for b in &fleet_payloads {
+        fleet_engine.synthesize_at_with(b, plan, 71, &mut fleet_scratch);
+    }
+    let fleet_before = telemetry::snapshot();
+    let patch_us: Vec<f64> = fleet_payloads
+        .iter()
+        .map(|b| {
+            let t0 = Instant::now();
+            std::hint::black_box(fleet_engine.synthesize_at_with(b, plan, 71, &mut fleet_scratch));
+            t0.elapsed().as_secs_f64() * 1e6
+        })
+        .collect();
+    let fleet_after = telemetry::snapshot();
+    let fleet_hits =
+        counter_value(&fleet_after, "template_hit") - counter_value(&fleet_before, "template_hit");
+
+    // Hit-rate sweep: round-robin K distinct scrambler seeds (K distinct
+    // templates) over the stream so the first use of each key misses and
+    // the rest hit — K = N(1 − target) sets the steady hit rate.
+    let sweep_targets = [0.0f64, 50.0, 95.0, 100.0];
+    let mut sweep_rows = Vec::new();
+    let mut sweep_json = Vec::new();
+    for &target in &sweep_targets {
+        let k = (((n_fleet as f64) * (1.0 - target / 100.0)).round().max(1.0) as usize)
+            .min(n_fleet)
+            .min(126);
+        let seeds: Vec<u8> = (0..k).map(|i| (i % 126 + 1) as u8).collect();
+        let engine = CachedEngine::new(fleet_bf.clone());
+        let mut scratch = CachedScratch::new();
+        let before = telemetry::snapshot();
+        let t0 = Instant::now();
+        for (i, b) in fleet_payloads.iter().enumerate() {
+            std::hint::black_box(engine.synthesize_at_with(b, plan, seeds[i % k], &mut scratch));
+        }
+        let dt = t0.elapsed().as_secs_f64();
+        let after = telemetry::snapshot();
+        let hits = counter_value(&after, "template_hit") - counter_value(&before, "template_hit");
+        let misses =
+            counter_value(&after, "template_miss") - counter_value(&before, "template_miss");
+        let observed = 100.0 * hits as f64 / (hits + misses).max(1) as f64;
+        let pps = n_fleet as f64 / dt;
+        sweep_rows.push(vec![
+            format!("{target:.0}%"),
+            format!("{observed:.0}%"),
+            format!("{k}"),
+            format!("{:.0}", pps),
+        ]);
+        sweep_json.push(Json::obj(vec![
+            ("target_hit_pct", Json::Num(target)),
+            ("observed_hit_pct", Json::Num(observed)),
+            ("distinct_keys", Json::Num(k as f64)),
+            ("packets_per_s", Json::Num(pps)),
+        ]));
+    }
+
     // -- Report -----------------------------------------------------------
     // Sort the latency series once; all percentiles read from it.
     let mut lat_sorted = lat_us.clone();
@@ -277,6 +374,50 @@ fn main() {
              with the `contracts` feature; run without --release)",
         );
     }
+    let mut patch_sorted = patch_us.clone();
+    patch_sorted.sort_by(|a, b| a.total_cmp(b));
+    let mut fleet_cold_sorted = fleet_cold_us.clone();
+    fleet_cold_sorted.sort_by(|a, b| a.total_cmp(b));
+    let patch_mean = mean(&patch_us);
+    let fleet_cold_mean = mean(&fleet_cold_us);
+    rep.table(
+        &format!(
+            "Runtime profile — beacon fleet, template cache ({n_fleet} packets, \
+             counter mutations)"
+        ),
+        &["path", "mean µs", "p50 µs", "p90 µs", "p99 µs", "packets/s"],
+        vec![
+            vec![
+                "cold (anchored realtime)".to_string(),
+                format!("{fleet_cold_mean:.1}"),
+                format!("{:.1}", percentile_sorted(&fleet_cold_sorted, 50.0)),
+                format!("{:.1}", percentile_sorted(&fleet_cold_sorted, 90.0)),
+                format!("{:.1}", percentile_sorted(&fleet_cold_sorted, 99.0)),
+                format!("{:.0}", 1e6 / fleet_cold_mean.max(1e-9)),
+            ],
+            vec![
+                format!("cached patch ({fleet_hits} hits)"),
+                format!("{patch_mean:.1}"),
+                format!("{:.1}", percentile_sorted(&patch_sorted, 50.0)),
+                format!("{:.1}", percentile_sorted(&patch_sorted, 90.0)),
+                format!("{:.1}", percentile_sorted(&patch_sorted, 99.0)),
+                format!("{:.0}", 1e6 / patch_mean.max(1e-9)),
+            ],
+        ],
+    );
+    rep.note(format!(
+        "\ncache-hit patch speedup: {:.1}x vs the cold single-packet mean \
+         ({:.1} µs), {:.1}x vs the anchored real-time cold path ({:.1} µs)",
+        mean(&lat_us) / patch_mean.max(1e-9),
+        mean(&lat_us),
+        fleet_cold_mean / patch_mean.max(1e-9),
+        fleet_cold_mean,
+    ));
+    rep.table(
+        "Runtime profile — beacon fleet, hit-rate sweep",
+        &["target hit", "observed", "keys", "packets/s"],
+        sweep_rows,
+    );
     rep.table(
         &format!("Runtime profile — batch throughput, {n_jobs} packets (Fig 9 workload)"),
         &["workers", "seconds", "packets/s", "speedup"],
@@ -366,6 +507,46 @@ fn main() {
                 ("threads", Json::Arr(batch_json)),
                 ("ladder_clamped", Json::Bool(clamped)),
                 ("bit_exact", Json::Bool(bit_exact)),
+            ]),
+        ),
+        (
+            "beacon_fleet",
+            Json::obj(vec![
+                ("packets", Json::Num(n_fleet as f64)),
+                ("cold_mean_us", Json::Num(fleet_cold_mean)),
+                ("cold_p50_us", Json::Num(percentile_sorted(&fleet_cold_sorted, 50.0))),
+                ("patch_mean_us", Json::Num(patch_mean)),
+                ("patch_p50_us", Json::Num(percentile_sorted(&patch_sorted, 50.0))),
+                ("patch_p90_us", Json::Num(percentile_sorted(&patch_sorted, 90.0))),
+                ("patch_p99_us", Json::Num(percentile_sorted(&patch_sorted, 99.0))),
+                (
+                    "speedup_vs_cold_single_packet",
+                    Json::Num(mean(&lat_us) / patch_mean.max(1e-9)),
+                ),
+                (
+                    "speedup_vs_fleet_cold",
+                    Json::Num(fleet_cold_mean / patch_mean.max(1e-9)),
+                ),
+                ("hit_rate_sweep", Json::Arr(sweep_json)),
+                ("template_counters", {
+                    let names = [
+                        "template_hit",
+                        "template_miss",
+                        "template_evict",
+                        "template_bypass",
+                    ];
+                    let mut pairs: Vec<(String, Json)> = names
+                        .iter()
+                        .map(|&n| {
+                            (n.to_string(), Json::Num(counter_value(&fleet_after, n) as f64))
+                        })
+                        .collect();
+                    pairs.push((
+                        "template_bytes_resident".to_string(),
+                        Json::Num(fleet_engine.store().bytes_resident() as f64),
+                    ));
+                    Json::Obj(pairs)
+                }),
             ]),
         ),
     ]);

@@ -9,6 +9,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod anchored;
 pub mod ble;
 pub mod br;
 pub mod edr;
@@ -17,6 +18,7 @@ pub mod gfsk;
 pub mod hopping;
 pub mod receiver;
 
+pub use anchored::AnchoredModulator;
 pub use ble::{AdvChannel, AdvChannelError};
 pub use gfsk::{GfskParams, GfskScratch};
 pub use receiver::{GfskReceiver, ReceiverConfig};

@@ -34,6 +34,6 @@ pub mod viterbi;
 
 pub use convolutional::ConvEncoder;
 pub use puncture::CodeRate;
-pub use realtime::{FreeEdge, RealtimeDecoder};
+pub use realtime::{FreeEdge, RealtimeCheckpoint, RealtimeDecoder};
 pub use trellis::{trellis_plan, TrellisPlan};
 pub use viterbi::ViterbiScratch;

@@ -358,6 +358,12 @@ pub struct RealtimePlan {
     /// Row indices sorted in substitution order (by pivot, ascending for
     /// Front, descending for Back).
     sub_order: Vec<u32>,
+    /// Whether rows were processed in ascending transmitted order (Front).
+    asc: bool,
+    /// `min_pivot_from[i]` = the smallest pivot among `rows[i..]` (`n_in`
+    /// for `i == rows.len()`): the suffix-redecode bound — inputs below it
+    /// are untouched by any row at index ≥ `i`.
+    min_pivot_from: Vec<u32>,
 }
 
 #[derive(Debug, Clone)]
@@ -430,7 +436,11 @@ impl RealtimePlan {
                 -p
             }
         });
-        RealtimePlan { n_tx, n_in, mask, rows, sub_order }
+        let mut min_pivot_from = vec![n_in as u32; rows.len() + 1];
+        for i in (0..rows.len()).rev() {
+            min_pivot_from[i] = min_pivot_from[i + 1].min(rows[i].pivot);
+        }
+        RealtimePlan { n_tx, n_in, mask, rows, sub_order, asc, min_pivot_from }
     }
 
     /// The protected-position mask this plan realizes.
@@ -502,6 +512,170 @@ impl RealtimePlan {
         if flips.capacity() > cap {
             bluefi_dsp::contracts::probe_alloc();
         }
+    }
+
+    /// Snapshots the state of the decode that just ran through `scratch`
+    /// into `ckpt`: the propagated right-hand sides plus the recovered
+    /// information bits. A checkpoint lets [`RealtimePlan::redecode_suffix`]
+    /// replay only the tail of the elimination when a later target differs
+    /// from the checkpointed one only at transmitted positions ≥ some
+    /// `t_start`. Allocation-free once the checkpoint buffers have grown.
+    pub fn save_checkpoint(
+        &self,
+        scratch: &RealtimeScratch,
+        decoded: &[bool],
+        ckpt: &mut RealtimeCheckpoint,
+    ) {
+        debug_assert_eq!(decoded.len(), self.n_in);
+        bluefi_dsp::contracts::ensure_len(&mut ckpt.rhs, self.rows.len(), false);
+        ckpt.rhs.copy_from_slice(&scratch.rhs[..self.rows.len()]);
+        bluefi_dsp::contracts::ensure_len(&mut ckpt.decoded, self.n_in, false);
+        ckpt.decoded.copy_from_slice(decoded);
+    }
+
+    /// Incremental redecode for a target that matches the checkpointed one
+    /// at every transmitted position `< t_start`: replays only the rows
+    /// whose source position is ≥ `t_start` and re-substitutes only the
+    /// pivots those rows can reach. Writes the full recovered information
+    /// vector into `decoded` and returns `b_bound` — the smallest input
+    /// index that may differ from the checkpoint (everything below it is
+    /// copied verbatim).
+    ///
+    /// **Front-edge plans only** (rows ascend in `t` and every pivot is its
+    /// row's largest unknown, which is what makes the prefix reusable);
+    /// Back-edge callers must run a full [`RealtimePlan::decode_into`].
+    /// Flip extraction is a separate pass —
+    /// [`RealtimePlan::reencode_flips_suffix`].
+    pub fn redecode_suffix(
+        &self,
+        target: &[bool],
+        t_start: usize,
+        ckpt: &RealtimeCheckpoint,
+        scratch: &mut RealtimeScratch,
+        decoded: &mut Vec<bool>,
+    ) -> usize {
+        debug_assert!(self.asc, "suffix redecode requires a Front-edge plan");
+        debug_assert_eq!(target.len(), self.n_tx);
+        debug_assert_eq!(ckpt.rhs.len(), self.rows.len());
+        debug_assert_eq!(ckpt.decoded.len(), self.n_in);
+        // Rows are in ascending-t order: the first row sourced at or past
+        // the mutation is found by binary search.
+        let r_start = self.rows.partition_point(|row| (row.t as usize) < t_start);
+        let b_bound = self.min_pivot_from[r_start] as usize;
+        // Phase 1 (suffix): rows < r_start read unchanged targets and
+        // unchanged dependencies, so their RHS comes from the checkpoint;
+        // rows ≥ r_start are recomputed into the scratch.
+        bluefi_dsp::contracts::ensure_len(&mut scratch.rhs, self.rows.len(), false);
+        for i in r_start..self.rows.len() {
+            let row = &self.rows[i];
+            let mut v = target[row.t as usize];
+            for &d in &row.rhs_deps {
+                let d = d as usize;
+                v ^= if d < r_start { ckpt.rhs[d] } else { scratch.rhs[d] };
+            }
+            scratch.rhs[i] = v;
+        }
+        // Phase 2: inputs below b_bound are solved by rows < r_start whose
+        // unknowns are all < b_bound (Front pivots are row maxima), so they
+        // keep their checkpointed values; every pivot ≥ b_bound is
+        // re-substituted in ascending pivot order.
+        bluefi_dsp::contracts::ensure_len(decoded, self.n_in, false);
+        decoded.copy_from_slice(&ckpt.decoded);
+        let s_start = self
+            .sub_order
+            .partition_point(|&ri| (self.rows[ri as usize].pivot as usize) < b_bound);
+        for &ri in &self.sub_order[s_start..] {
+            let ri = ri as usize;
+            let row = &self.rows[ri];
+            let mut v = if ri < r_start { ckpt.rhs[ri] } else { scratch.rhs[ri] };
+            for &u in &row.unknowns {
+                if u != row.pivot {
+                    v ^= decoded[u as usize];
+                }
+            }
+            decoded[row.pivot as usize] = v;
+        }
+        b_bound
+    }
+
+    /// Flip extraction to pair with [`RealtimePlan::redecode_suffix`]:
+    /// re-encodes only the transmitted suffix that can differ from the
+    /// checkpointed base — positions whose parity window reaches an input
+    /// ≥ `b_bound` or whose target bit changed (≥ `t_start`) — and splices
+    /// it after the base decode's flips. `base_flips` must be the flip list
+    /// of the checkpointed decode against the checkpointed target.
+    pub fn reencode_flips_suffix(
+        &self,
+        decoded: &[bool],
+        target: &[bool],
+        b_bound: usize,
+        t_start: usize,
+        base_flips: &[usize],
+        flips: &mut Vec<usize>,
+    ) {
+        debug_assert_eq!(decoded.len(), self.n_in);
+        debug_assert_eq!(target.len(), self.n_tx);
+        // First transmitted position whose newest tapped input is ≥
+        // b_bound: positions t with latest(t) < b_bound re-encode
+        // identically because every tapped input is unchanged.
+        let t_re = 3 * (b_bound / 2) + if b_bound % 2 == 1 { 2 } else { 0 };
+        let t_flip = t_start.min(t_re);
+        let cap = flips.capacity();
+        flips.clear();
+        let keep = base_flips.partition_point(|&f| f < t_flip);
+        flips.extend_from_slice(&base_flips[..keep]);
+        // Generator taps as input-index offsets, hardcoded for the suffix
+        // walk (pinned against `taps(G0)`/`taps(G1)` by a test).
+        const TAPS_A: [usize; 5] = [0, 2, 3, 5, 6];
+        const TAPS_B: [usize; 5] = [0, 1, 2, 3, 6];
+        let parity = |taps: &[usize; 5], j: usize| -> bool {
+            let mut v = false;
+            for &d in taps {
+                if d <= j {
+                    v ^= decoded[j - d];
+                }
+            }
+            v
+        };
+        for (t, &want) in target.iter().enumerate().skip(t_flip) {
+            let g = t / 3;
+            let re = match t % 3 {
+                0 => parity(&TAPS_A, 2 * g),
+                1 => parity(&TAPS_B, 2 * g),
+                _ => parity(&TAPS_A, 2 * g + 1),
+            };
+            if re != want {
+                debug_assert!(!self.mask[t], "protected bit {t} flipped");
+                flips.push(t);
+            }
+        }
+        if flips.capacity() > cap {
+            bluefi_dsp::contracts::probe_alloc();
+        }
+    }
+}
+
+/// A saved decode state for one `(plan, target)` pair: the propagated
+/// right-hand sides and the recovered information bits. Captured by
+/// [`RealtimePlan::save_checkpoint`], consumed by
+/// [`RealtimePlan::redecode_suffix`] to patch in a mutated target without
+/// replaying the untouched prefix of the elimination.
+#[derive(Debug, Clone, Default)]
+pub struct RealtimeCheckpoint {
+    rhs: Vec<bool>,
+    decoded: Vec<bool>,
+}
+
+impl RealtimeCheckpoint {
+    /// An empty checkpoint; buffers grow on first save.
+    pub fn new() -> RealtimeCheckpoint {
+        RealtimeCheckpoint::default()
+    }
+
+    /// Heap footprint of the checkpoint, in bytes (capacity accounting for
+    /// the template cache's byte budget).
+    pub fn bytes(&self) -> usize {
+        self.rhs.capacity() + self.decoded.capacity()
     }
 }
 
@@ -744,6 +918,69 @@ mod tests {
             states.dedup();
             assert_eq!(states.len(), 8, "3-bit histories must be distinct");
         }
+    }
+
+    #[test]
+    fn hardcoded_suffix_taps_match_the_generators() {
+        // reencode_flips_suffix walks the generators with hardcoded tap
+        // offsets; pin them against the canonical derivation.
+        assert_eq!(taps(G0), vec![0, 2, 3, 5, 6]);
+        assert_eq!(taps(G1), vec![0, 1, 2, 3, 6]);
+    }
+
+    #[test]
+    fn suffix_redecode_matches_full_decode() {
+        // Decode a base target, checkpoint, then mutate suffixes of varying
+        // depth: the incremental path must reproduce the full decode's
+        // information bits AND flip list word-for-word.
+        let n = 39 * 24;
+        let plan = RealtimePlan::new(n, FreeEdge::Front);
+        let base = pattern(n, 13);
+        let mut scratch = RealtimeScratch::new();
+        let (mut decoded, mut flips) = (Vec::new(), Vec::new());
+        plan.decode_into(&base, &mut scratch, &mut decoded, &mut flips);
+        let mut ckpt = RealtimeCheckpoint::new();
+        plan.save_checkpoint(&scratch, &decoded, &mut ckpt);
+        let base_flips = flips.clone();
+
+        for (t_start, k) in [(0usize, 5u64), (39, 7), (n / 2, 11), (n - 39, 17), (n - 1, 19), (n, 23)] {
+            let mut target = base.clone();
+            let tail = pattern(n, k);
+            target[t_start..].copy_from_slice(&tail[t_start..]);
+
+            let (mut want_dec, mut want_flips) = (Vec::new(), Vec::new());
+            let mut full_scratch = RealtimeScratch::new();
+            plan.decode_into(&target, &mut full_scratch, &mut want_dec, &mut want_flips);
+
+            let mut got_dec = Vec::new();
+            let b = plan.redecode_suffix(&target, t_start, &ckpt, &mut scratch, &mut got_dec);
+            assert_eq!(got_dec, want_dec, "t_start={t_start}");
+            // The bound is sound: everything below it matches the base.
+            assert_eq!(got_dec[..b], ckpt.decoded[..b]);
+
+            let mut got_flips = Vec::new();
+            plan.reencode_flips_suffix(&got_dec, &target, b, t_start, &base_flips, &mut got_flips);
+            assert_eq!(got_flips, want_flips, "t_start={t_start}");
+        }
+    }
+
+    #[test]
+    fn suffix_redecode_of_the_unchanged_target_is_identity() {
+        let n = 39 * 8;
+        let plan = RealtimePlan::new(n, FreeEdge::Front);
+        let base = pattern(n, 3);
+        let mut scratch = RealtimeScratch::new();
+        let (mut decoded, mut flips) = (Vec::new(), Vec::new());
+        plan.decode_into(&base, &mut scratch, &mut decoded, &mut flips);
+        let mut ckpt = RealtimeCheckpoint::new();
+        plan.save_checkpoint(&scratch, &decoded, &mut ckpt);
+        let mut got = Vec::new();
+        let b = plan.redecode_suffix(&base, n, &ckpt, &mut scratch, &mut got);
+        assert_eq!(b, n / 3 * 2);
+        assert_eq!(got, decoded);
+        let mut got_flips = Vec::new();
+        plan.reencode_flips_suffix(&got, &base, b, n, &flips, &mut got_flips);
+        assert_eq!(got_flips, flips);
     }
 
     #[test]

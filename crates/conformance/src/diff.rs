@@ -1,10 +1,12 @@
 //! Differential bit-exactness matrix over the pipeline's execution paths.
 //!
-//! The synthesis kernel has accumulated three ways to run — the allocating
+//! The synthesis kernel has accumulated four ways to run — the allocating
 //! API (`synthesize_at`), the zero-alloc scratch API
-//! (`synthesize_at_with`), and the parallel batch engine
-//! (`SynthesisBatch`) — plus orthogonal toggles: worker count, telemetry
-//! recording level, and (at compile time) stage contracts. All of them
+//! (`synthesize_at_with`), the parallel batch engine (`SynthesisBatch`),
+//! and the template-cache patch path (`CachedEngine`, compared cold vs
+//! patched per payload-mutation cell) — plus orthogonal toggles: worker
+//! count, telemetry recording level, and (at compile time) stage
+//! contracts. All of them
 //! must produce *bit-identical* packets: the matrix here runs the same job
 //! set through every variant and compares the canonical word streams
 //! (PSDU, flip set, scalar facts, final transmitted IQ) word-by-word,
@@ -18,8 +20,10 @@
 use crate::digest::{compare_words, words_of, Canon, Divergence};
 use crate::trace::{ble_case_pdu, Chip};
 use bluefi_bt::ble::{adv_air_bits, AdvPdu, AdvPduType};
-use bluefi_core::pipeline::{BlueFi, Synthesis, SynthesisScratch};
+use bluefi_core::pipeline::{BlueFi, PhaseMode, Synthesis, SynthesisScratch};
+use bluefi_core::reversal::DecodeStrategy;
 use bluefi_core::telemetry::{self, Level};
+use bluefi_core::template::{CachedEngine, CachedScratch};
 use bluefi_core::{BatchJob, SynthesisBatch};
 use bluefi_wifi::channels::{bt_channel_freq_hz, plan_channel};
 
@@ -160,6 +164,50 @@ fn run_chip(bf: &BlueFi, chip: Chip, report: &mut MatrixReport) -> Result<(), St
     Ok(())
 }
 
+/// Byte masks for the mutation cells: distinct patterns so adjacent cells
+/// cannot mask each other's divergences.
+const MUTATION_MASKS: [u8; 3] = [0x01, 0xA5, 0xFF];
+
+/// The `cached` engine axis: for every (channel, payload-mutation) cell,
+/// the template-cache *patch* of a mutated payload must be bit-identical —
+/// PSDU, flip set, scalar facts, transmitted IQ — to a cold synthesis of
+/// that same payload on the anchored real-time pipeline. The engine is
+/// primed with the unmutated base payload first, so every mutated request
+/// is guaranteed to exercise the patch path, not the build path.
+fn run_cached_chip(chip: Chip, report: &mut MatrixReport) -> Result<(), String> {
+    let fleet = BlueFi {
+        strategy: DecodeStrategy::Realtime,
+        phase: PhaseMode::Anchored,
+        ..BlueFi::default()
+    };
+    let engine = CachedEngine::new(fleet.clone());
+    let mut scratch = CachedScratch::new();
+    for (j, job) in matrix_jobs(chip)?.iter().enumerate() {
+        engine.synthesize_at_with(&job.bits, job.plan, job.seed, &mut scratch);
+        let n_bytes = job.bits.len() / 8;
+        // Mutation cells: an early header byte, a mid-payload byte, and the
+        // final byte (the beacon-counter position), each under its own mask.
+        for (m, (&byte, &mask)) in
+            [2usize, n_bytes / 2, n_bytes - 1].iter().zip(&MUTATION_MASKS).enumerate()
+        {
+            let mut bits = job.bits.clone();
+            for bit in 0..8 {
+                if mask >> bit & 1 == 1 {
+                    bits[byte * 8 + bit] ^= true;
+                }
+            }
+            let cold = result_words(&fleet.synthesize_at(&bits, job.plan, job.seed), chip);
+            let patched =
+                engine.synthesize_at_with(&bits, job.plan, job.seed, &mut scratch).clone();
+            let stage = format!("{}/cached/job{j}/mut{m}", chip.name());
+            if let Some(d) = compare_words(&stage, &cold, &result_words(&patched, chip)) {
+                report.divergences.push(d);
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Runs the execution-path matrix for both chip models at the current
 /// telemetry level.
 pub fn run_matrix() -> Result<MatrixReport, String> {
@@ -168,6 +216,7 @@ pub fn run_matrix() -> Result<MatrixReport, String> {
         variants: ["scratch".to_string()]
             .into_iter()
             .chain(WORKER_COUNTS.iter().map(|n| format!("batch{n}")))
+            .chain(["cached".to_string()])
             .collect(),
         contracts_enabled: bluefi_dsp::contracts::enabled(),
         levels: vec![telemetry::level().name()],
@@ -175,6 +224,7 @@ pub fn run_matrix() -> Result<MatrixReport, String> {
     };
     for chip in [Chip::Ar9331, Chip::Rtl8811au] {
         run_chip(&bf, chip, &mut report)?;
+        run_cached_chip(chip, &mut report)?;
     }
     Ok(report)
 }

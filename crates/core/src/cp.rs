@@ -118,7 +118,17 @@ impl CpCompat {
         // One extra lookahead sample: the last block's CP tail references
         // θ[N+64+L], the sample just past the block.
         self.extend_into(theta, extend_freq_cps, ext);
-        let theta = &ext[..];
+        self.pocket_map_into(ext, out);
+    }
+
+    /// The per-block pocket mapping alone: builds θ̂ from an
+    /// already-extended θ (whole blocks plus one lookahead sample, as
+    /// produced by [`CpCompat::extend_into`] or an anchored-phase fill).
+    /// Factored out so the template cache's patch path can re-map
+    /// individual recomputed spans with the exact same copy semantics as
+    /// the cold path.
+    pub fn pocket_map_into(&self, ext: &[f64], out: &mut Vec<f64>) {
+        let theta = ext;
         let bl = self.block_len();
         debug_assert_eq!((theta.len() - 1) % bl, 0);
         bluefi_dsp::contracts::ensure_len(out, theta.len() - 1, 0.0);

@@ -12,6 +12,9 @@
 //! * [`pipeline`] — the end-to-end synthesizer with frequency planning
 //!   (Sec 2.6).
 //! * [`stages`] — cumulative impairment staging for the Sec 4.6 study.
+//! * [`template`] — template cache + GF(2) delta synthesis for beacon
+//!   fleets (first synthesis per key is cached; mutated payloads are
+//!   patched bit-exactly in microseconds).
 //! * [`verify`] — forward loopback through the real TX chain and a COTS
 //!   Bluetooth receiver model.
 //!
@@ -38,6 +41,7 @@ pub mod reversal;
 pub mod rng;
 pub mod stages;
 pub mod telemetry;
+pub mod template;
 pub mod verify;
 
 pub use cp::CpCompat;
@@ -46,9 +50,10 @@ pub use par::{
     clamped_workers, host_cpus, par_map, par_map_scratch, worker_count, BatchJob,
     SynthesisBatch,
 };
-pub use pipeline::{BlueFi, Synthesis, SynthesisScratch};
+pub use pipeline::{BlueFi, PhaseMode, Synthesis, SynthesisScratch};
 pub use qam::{Quantizer, ScaleMode};
 pub use reversal::{DecodeStrategy, WeightProfile};
 pub use rng::{Rng, SeedableRng, StdRng};
 pub use stages::Stage;
 pub use telemetry::{Histogram, Table};
+pub use template::{CachedEngine, CachedScratch, Template, TemplateKey, TemplateStore};

@@ -25,6 +25,7 @@
 
 use crate::pipeline::{BlueFi, Synthesis, SynthesisScratch};
 use crate::telemetry::{self, Counter, Gauge, SpanKind};
+use crate::template::{CachedEngine, CachedScratch};
 use bluefi_wifi::channels::ChannelPlan;
 use std::num::NonZeroUsize;
 use std::time::{Duration, Instant};
@@ -222,6 +223,21 @@ impl<'a> SynthesisBatch<'a> {
         })
     }
 
+    /// Synthesizes every job through a [`CachedEngine`], in parallel,
+    /// results in job order. Cache-eligible jobs take the template patch
+    /// path (first user of a key builds the template; the shared store
+    /// serves every later worker); ineligible jobs fall through to the
+    /// cold pipeline. The engine's configuration governs — this batch only
+    /// contributes its worker count — and because patched results are
+    /// bit-exact equal to cold synthesis, the output is byte-identical to
+    /// [`SynthesisBatch::synthesize`] on `engine.config()` for any worker
+    /// count and any cache state.
+    pub fn synthesize_cached(&self, engine: &CachedEngine, jobs: &[BatchJob]) -> Vec<Synthesis> {
+        par_map_scratch_n(jobs, self.n_workers, CachedScratch::new, |s, _, job| {
+            engine.synthesize_at_with(&job.bits, job.plan, job.seed, s).clone()
+        })
+    }
+
     /// Generic trial runner: `f(config, worker_scratch, index, &item)` per
     /// item, fanned out with one [`SynthesisScratch`] per worker, results in
     /// input order. This is the shape every experiment loop reduces to —
@@ -290,6 +306,43 @@ mod tests {
             })
         });
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn cached_batch_matches_cold_batch_for_every_worker_count() {
+        use crate::pipeline::PhaseMode;
+        use crate::reversal::DecodeStrategy;
+        use bluefi_wifi::channels::plan_channel;
+
+        let bf = BlueFi {
+            strategy: DecodeStrategy::Realtime,
+            phase: PhaseMode::Anchored,
+            ..Default::default()
+        };
+        let plan = plan_channel(2.426e9).unwrap();
+        // A beacon fleet: one payload class, rotating counter byte — so the
+        // batch is one miss plus all hits on a shared template.
+        let jobs: Vec<BatchJob> = (0..12u8)
+            .map(|c| {
+                let mut bits = vec![false; 1992];
+                for (i, b) in bits.iter_mut().enumerate() {
+                    *b = (i as u8).wrapping_mul(37) & 1 == 1;
+                }
+                bits[1900 + c as usize % 8] ^= true;
+                BatchJob { bits, plan, seed: 71 }
+            })
+            .collect();
+        let cold = SynthesisBatch::with_workers(&bf, 1).synthesize(&jobs);
+        for n in [1, 2, 4] {
+            let engine = CachedEngine::new(bf.clone());
+            let got = SynthesisBatch::with_workers(&bf, n).synthesize_cached(&engine, &jobs);
+            assert_eq!(got.len(), cold.len());
+            for (g, w) in got.iter().zip(&cold) {
+                assert_eq!(g.psdu, w.psdu, "workers {n}");
+                assert_eq!(g.flips, w.flips, "workers {n}");
+                assert_eq!(g.forced_bits, w.forced_bits, "workers {n}");
+            }
+        }
     }
 
     #[test]

@@ -188,16 +188,23 @@ metric_enum! {
         SimPacketsOk => "sim_packets_ok",
         SimPacketsCrcError => "sim_packets_crc_error",
         SimPacketsLost => "sim_packets_lost",
+        TemplateHit => "template_hit",
+        TemplateMiss => "template_miss",
+        TemplateEvict => "template_evict",
+        TemplateBypass => "template_bypass",
     }
 }
 
 metric_enum! {
-    /// High-water-mark gauges (updated with `fetch_max`).
+    /// Gauges: high-water marks (updated with `fetch_max`) except
+    /// `TemplateBytesResident`, which tracks the absolute resident size
+    /// (updated with `gauge_set` so evictions show).
     Gauge {
         ScratchCodedBits => "scratch_coded_bits_highwater",
         ScratchPhaseSamples => "scratch_phase_samples_highwater",
         ScratchPsduBytes => "scratch_psdu_bytes_highwater",
         ParMaxWorkers => "par_max_workers",
+        TemplateBytesResident => "template_bytes_resident",
     }
 }
 
@@ -220,6 +227,7 @@ metric_enum! {
         ParWorkerBusy => "par_worker_busy",
         ParWorkerIdle => "par_worker_idle",
         SimSession => "sim_session",
+        TemplatePatch => "template_patch",
     }
 }
 
@@ -320,6 +328,15 @@ pub fn counter(c: Counter) -> u64 {
 pub fn gauge_max(g: Gauge, v: u64) {
     if counters_on() {
         GAUGES[g as usize].fetch_max(v, Ordering::Relaxed);
+    }
+}
+
+/// Sets a gauge to an absolute value (for quantities that can shrink,
+/// e.g. [`Gauge::TemplateBytesResident`] across evictions).
+#[inline]
+pub fn gauge_set(g: Gauge, v: u64) {
+    if counters_on() {
+        GAUGES[g as usize].store(v, Ordering::Relaxed);
     }
 }
 
@@ -752,12 +769,31 @@ mod tests {
         set_level(Level::Counters);
         reset();
         incr(Counter::SimTrials);
+        incr(Counter::TemplateHit);
+        incr(Counter::TemplateMiss);
+        gauge_set(Gauge::TemplateBytesResident, 4096);
         let j = snapshot().to_json();
         assert_eq!(j.get("level").and_then(Json::as_str), Some("counters"));
         assert_eq!(
             j.get("counters").and_then(|c| c.get("sim_trials")).and_then(Json::as_f64),
             Some(1.0)
         );
+        // The template-cache metrics are part of the exported schema: the
+        // counters, the resident-size gauge, and the patch span must appear
+        // under their pinned names.
+        for name in ["template_hit", "template_miss", "template_evict", "template_bypass"] {
+            assert!(
+                j.get("counters").and_then(|c| c.get(name)).is_some(),
+                "counter {name} missing from snapshot"
+            );
+        }
+        assert_eq!(
+            j.get("gauges")
+                .and_then(|g| g.get("template_bytes_resident"))
+                .and_then(Json::as_f64),
+            Some(4096.0)
+        );
+        assert_eq!(SpanKind::TemplatePatch.name(), "template_patch");
         assert!(j.get("span_events").and_then(Json::as_arr).is_some());
         set_level(Level::Off);
         reset();
