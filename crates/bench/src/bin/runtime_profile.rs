@@ -6,14 +6,25 @@
 //! throughput at a host-clamped worker ladder on the Fig 9 workload.
 //!
 //! Telemetry runs at the `spans` level unless `BLUEFI_TELEMETRY` overrides
-//! it; the worker ladder is clamped to the host CPU count unless
-//! `BLUEFI_THREADS` overrides (oversubscribed rows only measure scheduler
-//! churn).
+//! it (or `--trace-out` forces `trace`); the worker ladder is clamped to
+//! the host CPU count unless `BLUEFI_THREADS` overrides (oversubscribed
+//! rows only measure scheduler churn).
+//!
+//! The recorder is reset at every section boundary (and per sweep point),
+//! so each reported section's counters and spans cover only that section
+//! — never cumulative totals from earlier ones.
+//!
+//! `--trace-out PATH` additionally captures causal per-packet traces and
+//! writes them as Chrome `trace_event` JSON (open in Perfetto or
+//! `chrome://tracing`): every synthesis is a parent-linked span tree with
+//! a trace ID, worker attribution and the five pipeline phases (or the
+//! patch-path stages) as children.
 //!
 //! Writes a machine-readable report next to the repo root by default.
 //!
 //! Run: `BLUEFI_TELEMETRY=spans cargo run --release -p bluefi-bench
-//!       --bin runtime_profile [--trials 100] [--out BENCH_runtime.json]`
+//!       --bin runtime_profile [--trials 100] [--out BENCH_runtime.json]
+//!       [--trace-out BENCH_trace.json]`
 
 use bluefi_bench::{arg_str, arg_usize, Reporter};
 use bluefi_bt::ble::{adv_air_bits, AdvPdu, AdvPduType};
@@ -64,11 +75,22 @@ fn steady_allocs_per_packet(
 fn main() {
     let trials = arg_usize("--trials", 100).max(1);
     let out_path = arg_str("--out", "BENCH_runtime.json");
+    let trace_out = arg_str("--trace-out", "");
+    let tracing = !trace_out.is_empty();
     let mut rep = Reporter::from_args();
     // The profile defaults to full span recording (this binary exists to
-    // look inside the pipeline); BLUEFI_TELEMETRY still overrides.
-    let level = telemetry::env_level().unwrap_or(Level::Spans);
+    // look inside the pipeline); BLUEFI_TELEMETRY still overrides, and
+    // --trace-out forces the trace level (the export needs trace events).
+    let env = telemetry::env_level();
+    let level = if tracing { Level::Trace } else { env.unwrap_or(Level::Spans) };
     telemetry::set_level(level);
+    for w in telemetry::warnings() {
+        rep.note(format!("telemetry warning: {w}"));
+    }
+    // Per-section causal-trace captures, merged into one export at the end
+    // (each section boundary resets the recorder, so each capture must
+    // happen first).
+    let mut trace_sections: Vec<telemetry::trace::TraceSnapshot> = Vec::new();
     let bf = BlueFi::default();
     // lint: allow(panic) channel 38 = 2426 MHz is plannable by construction
     let plan = plan_channel(2.426e9).expect("advertising channel must be plannable");
@@ -157,6 +179,13 @@ fn main() {
         .collect();
     let memo_hits = counter_value(&telemetry::snapshot(), "viterbi_memo_hits") - memo_before;
 
+    // Section boundary: latency/per-stage/repeat numbers are final; reset
+    // so the next section starts from zero (capturing traces first).
+    if tracing {
+        trace_sections.push(telemetry::trace::snapshot());
+    }
+    telemetry::reset();
+
     // -- Steady-state allocations per packet ------------------------------
     // The probe only counts in contracts+debug builds; release builds
     // report the probe as unmeasured rather than a misleading zero. The
@@ -166,6 +195,12 @@ fn main() {
     telemetry::set_level(Level::Off);
     let (steady_disabled, _) = steady_allocs_per_packet(&bf, &variants, plan, trials);
     telemetry::set_level(level);
+
+    // Section boundary after the allocation probes.
+    if tracing {
+        trace_sections.push(telemetry::trace::snapshot());
+    }
+    telemetry::reset();
 
     // -- Batch throughput on the Fig 9 workload ---------------------------
     // One beacon per usable even-indexed Bluetooth channel, repeated until
@@ -224,6 +259,19 @@ fn main() {
             ("speedup_vs_1", Json::Num(speedup)),
         ]));
     }
+    if tracing {
+        // The timed ladder above is host-clamped (often to one worker), so
+        // force a small two-worker fan-out here — untimed — so the trace
+        // export always demonstrates cross-worker attribution.
+        let demo = SynthesisBatch::with_workers(&bf, 2);
+        std::hint::black_box(demo.synthesize(&jobs[..jobs.len().min(8)]));
+    }
+
+    // Section boundary after batch throughput.
+    if tracing {
+        trace_sections.push(telemetry::trace::snapshot());
+    }
+    telemetry::reset();
 
     // -- Beacon-fleet template cache --------------------------------------
     // The production beacon-fleet shape: one payload class per key, with a
@@ -281,6 +329,13 @@ fn main() {
     let fleet_hits =
         counter_value(&fleet_after, "template_hit") - counter_value(&fleet_before, "template_hit");
 
+    // Section boundary after the fleet cold/patch comparison; each sweep
+    // point below then resets again so its counters are per-point.
+    if tracing {
+        trace_sections.push(telemetry::trace::snapshot());
+    }
+    telemetry::reset();
+
     // Hit-rate sweep: round-robin K distinct scrambler seeds (K distinct
     // templates) over the stream so the first use of each key misses and
     // the rest hit — K = N(1 − target) sets the steady hit rate.
@@ -294,6 +349,9 @@ fn main() {
         let seeds: Vec<u8> = (0..k).map(|i| (i % 126 + 1) as u8).collect();
         let engine = CachedEngine::new(fleet_bf.clone());
         let mut scratch = CachedScratch::new();
+        // Per-point boundary: every sweep point's counters and traces
+        // start from zero rather than accumulating across targets.
+        telemetry::reset();
         let before = telemetry::snapshot();
         let t0 = Instant::now();
         for (i, b) in fleet_payloads.iter().enumerate() {
@@ -318,7 +376,11 @@ fn main() {
             ("distinct_keys", Json::Num(k as f64)),
             ("packets_per_s", Json::Num(pps)),
         ]));
+        if tracing {
+            trace_sections.push(telemetry::trace::snapshot());
+        }
     }
+    telemetry::reset();
 
     // -- Report -----------------------------------------------------------
     // Sort the latency series once; all percentiles read from it.
@@ -489,6 +551,10 @@ fn main() {
                 ("allocs_per_packet_disabled", Json::Num(steady_disabled)),
                 ("span_events_captured", Json::Num(snap.events.len() as f64)),
                 ("dropped_events", Json::Num(snap.dropped_events as f64)),
+                (
+                    "warnings",
+                    Json::Arr(snap.warnings.iter().map(|w| Json::Str(w.clone())).collect()),
+                ),
                 ("counters", {
                     let pairs: Vec<(String, Json)> = snap
                         .counters
@@ -553,5 +619,20 @@ fn main() {
     // lint: allow(panic) a report the caller asked for must be writable
     std::fs::write(&out_path, report.render() + "\n").expect("write runtime report");
     rep.note(format!("wrote {out_path}"));
+    if tracing {
+        let chrome = telemetry::trace::chrome_trace(&trace_sections);
+        let n_events = chrome
+            .get("traceEvents")
+            .and_then(Json::as_arr)
+            .map(|a| a.len())
+            .unwrap_or(0);
+        // lint: allow(panic) a trace the caller asked for must be writable
+        std::fs::write(&trace_out, chrome.render() + "\n").expect("write trace output");
+        rep.note(format!(
+            "wrote {trace_out} ({n_events} trace events from {} sections; \
+             open in Perfetto or chrome://tracing)",
+            trace_sections.len()
+        ));
+    }
     rep.finish();
 }

@@ -135,6 +135,112 @@ fn runtime_profile_emits_valid_report() {
     assert_eq!(counters.get("packets_synthesized").and_then(Json::as_f64), Some(2.0));
 }
 
+/// `--trace-out` must emit a valid Chrome `trace_event` document with
+/// parent-linked per-packet spans across all five phases and at least two
+/// batch workers (the profiler runs an untimed 2-worker demo batch when
+/// tracing so worker attribution is exercised even on a 1-CPU host).
+#[test]
+fn runtime_profile_trace_out_emits_chrome_trace() {
+    let out_path = std::env::temp_dir().join("bluefi_rt_trace_report.json");
+    let trace_path = std::env::temp_dir().join("bluefi_rt_trace_out.json");
+    let status = Command::new(env!("CARGO_BIN_EXE_runtime_profile"))
+        .args(["--trials", "2", "--out"])
+        .arg(&out_path)
+        .arg("--trace-out")
+        .arg(&trace_path)
+        .env("BLUEFI_TELEMETRY", "spans")
+        .status()
+        .expect("runtime_profile must launch");
+    assert!(status.success(), "runtime_profile exited with {status}");
+    let report =
+        Json::parse(&std::fs::read_to_string(&out_path).expect("report")).expect("report JSON");
+    let doc = Json::parse(&std::fs::read_to_string(&trace_path).expect("trace file"))
+        .expect("trace output must be valid JSON");
+    let _ = std::fs::remove_file(&out_path);
+    let _ = std::fs::remove_file(&trace_path);
+
+    // --trace-out forces the trace level regardless of BLUEFI_TELEMETRY,
+    // and a valid env value leaves no warnings behind.
+    let tel = report.get("telemetry").expect("telemetry section");
+    assert_eq!(tel.get("level").and_then(Json::as_str), Some("trace"));
+    assert_eq!(
+        tel.get("warnings").and_then(Json::as_arr).map(|w| w.len()),
+        Some(0),
+        "valid env value must not warn"
+    );
+
+    assert_eq!(doc.get("displayTimeUnit").and_then(Json::as_str), Some("ns"));
+    let events = doc.get("traceEvents").and_then(Json::as_arr).expect("traceEvents");
+    let xs: Vec<&Json> = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+        .collect();
+    assert!(xs.len() > PHASES.len(), "got {} duration events", xs.len());
+    // A parentless synthesize root with all five phases linked under it.
+    let root = xs
+        .iter()
+        .find(|e| {
+            e.get("name").and_then(Json::as_str) == Some("synthesize")
+                && e.get("args").and_then(|a| a.get("parent_id")) == Some(&Json::Null)
+        })
+        .expect("parentless synthesize root");
+    let root_args = root.get("args").expect("args");
+    let trace_id = root_args.get("trace_id").and_then(Json::as_f64).expect("trace_id");
+    let span_id = root_args.get("span_id").and_then(Json::as_f64).expect("span_id");
+    for phase in PHASES {
+        assert!(
+            xs.iter().any(|e| {
+                let a = e.get("args").expect("args");
+                e.get("name").and_then(Json::as_str) == Some(phase)
+                    && a.get("trace_id").and_then(Json::as_f64) == Some(trace_id)
+                    && a.get("parent_id").and_then(Json::as_f64) == Some(span_id)
+            }),
+            "phase {phase} parent-linked to the synthesize root"
+        );
+    }
+    // Worker attribution: the 2-worker demo batch guarantees spans from at
+    // least two distinct spawned workers (tid ≥ 1) besides main (tid 0).
+    let worker_tids: std::collections::BTreeSet<u64> = xs
+        .iter()
+        .filter_map(|e| e.get("tid").and_then(Json::as_f64))
+        .filter(|&t| t >= 1.0)
+        .map(|t| t as u64)
+        .collect();
+    assert!(worker_tids.len() >= 2, "batch worker tids {worker_tids:?}");
+    let other = doc.get("otherData").expect("otherData");
+    for field in ["dropped_events", "truncated_spans", "exemplar_packets"] {
+        assert!(other.get(field).and_then(Json::as_f64).is_some(), "otherData.{field}");
+    }
+}
+
+/// An invalid `BLUEFI_TELEMETRY` value must not silently disable
+/// telemetry: the run proceeds at the default level and the report's
+/// `telemetry.warnings` names the rejected value.
+#[test]
+fn runtime_profile_warns_on_invalid_telemetry_env() {
+    let out_path = std::env::temp_dir().join("bluefi_rt_bogus_env.json");
+    let status = Command::new(env!("CARGO_BIN_EXE_runtime_profile"))
+        .args(["--trials", "2", "--out"])
+        .arg(&out_path)
+        .env("BLUEFI_TELEMETRY", "bogus")
+        .status()
+        .expect("runtime_profile must launch");
+    assert!(status.success(), "runtime_profile exited with {status}");
+    let report =
+        Json::parse(&std::fs::read_to_string(&out_path).expect("report")).expect("report JSON");
+    let _ = std::fs::remove_file(&out_path);
+    let tel = report.get("telemetry").expect("telemetry section");
+    // The profiler falls back to its default (spans), not off.
+    assert_eq!(tel.get("level").and_then(Json::as_str), Some("spans"));
+    let warnings = tel.get("warnings").and_then(Json::as_arr).expect("warnings array");
+    assert!(
+        warnings.iter().any(|w| {
+            w.as_str().is_some_and(|s| s.contains("BLUEFI_TELEMETRY") && s.contains("bogus"))
+        }),
+        "warnings must name the rejected value: {warnings:?}"
+    );
+}
+
 #[test]
 fn runtime_profile_with_telemetry_off_reports_zero_telemetry_allocs() {
     let report = run_profile("bluefi_runtime_profile_smoke_off.json", "off");

@@ -533,6 +533,21 @@ impl RealtimePlan {
         ckpt.decoded.copy_from_slice(decoded);
     }
 
+    /// Index of the first elimination row sourced at or past transmit
+    /// position `t_start` (rows are stored in ascending-`t` order).
+    fn first_replayed_row(&self, t_start: usize) -> usize {
+        self.rows.partition_point(|row| (row.t as usize) < t_start)
+    }
+
+    /// How many elimination rows a suffix re-decode from transmit
+    /// position `t_start` replays — the incremental-work size of
+    /// [`RealtimePlan::redecode_suffix`] (with `t_start = 0` the whole
+    /// plan, i.e. the cost of a full replay). Exposed so callers can
+    /// attribute patch-path FEC work, e.g. on a trace span's detail.
+    pub fn replayed_rows_from(&self, t_start: usize) -> usize {
+        self.rows.len() - self.first_replayed_row(t_start)
+    }
+
     /// Incremental redecode for a target that matches the checkpointed one
     /// at every transmitted position `< t_start`: replays only the rows
     /// whose source position is ≥ `t_start` and re-substitutes only the
@@ -560,7 +575,7 @@ impl RealtimePlan {
         debug_assert_eq!(ckpt.decoded.len(), self.n_in);
         // Rows are in ascending-t order: the first row sourced at or past
         // the mutation is found by binary search.
-        let r_start = self.rows.partition_point(|row| (row.t as usize) < t_start);
+        let r_start = self.first_replayed_row(t_start);
         let b_bound = self.min_pivot_from[r_start] as usize;
         // Phase 1 (suffix): rows < r_start read unchanged targets and
         // unchanged dependencies, so their RHS comes from the checkpoint;
@@ -759,6 +774,26 @@ mod tests {
         let a = plan.decode(&pattern(39 * 8, 5));
         let b = plan.decode(&pattern(39 * 8, 5));
         assert_eq!(a.decoded, b.decoded);
+    }
+
+    #[test]
+    fn replayed_rows_shrink_with_later_mutations() {
+        let n = 39 * 8;
+        let plan = RealtimePlan::new(n, FreeEdge::Front);
+        let all = plan.replayed_rows_from(0);
+        assert_eq!(all, plan.rows.len(), "t_start 0 replays the whole plan");
+        assert_eq!(plan.replayed_rows_from(n), 0, "past-the-end replays nothing");
+        let mut prev = all;
+        for t in [1, n / 4, n / 2, n - 1] {
+            let r = plan.replayed_rows_from(t);
+            assert!(r <= prev, "replayed rows must be monotone in t_start");
+            prev = r;
+        }
+        // Consistency with the row layout itself.
+        for t in [0, 7, n / 3, n - 1] {
+            let direct = plan.rows.iter().filter(|row| (row.t as usize) >= t).count();
+            assert_eq!(plan.replayed_rows_from(t), direct);
+        }
     }
 
     /// Recovers the edge a mask was built with (tests only): Front masks

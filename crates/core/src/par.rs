@@ -119,6 +119,9 @@ where
             let f = &f;
             let new_scratch = &new_scratch;
             handles.push(scope.spawn(move || {
+                // Tag this worker's trace events (1-based; 0 is main) so
+                // per-packet traces attribute to the thread that ran them.
+                let _tag = telemetry::trace::worker_scope(w as u32 + 1);
                 let t0 = record.then(Instant::now);
                 let mut scratch = new_scratch();
                 let part = chunk_items

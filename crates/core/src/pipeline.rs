@@ -229,12 +229,18 @@ impl BlueFi {
         let anchored =
             self.phase == PhaseMode::Anchored && s.anchored_for(&self.gfsk).is_some();
         if anchored {
-            let _sp = telemetry::span(SpanKind::Gfsk);
-            let phase_len = (bt_bits.len() + 2 * self.gfsk.guard_bits) * self.gfsk.sps();
-            let ext_len = self.cp.n_blocks(phase_len.max(1)) * self.cp.block_len() + 1;
-            // lint: allow(panic) anchored_for returned Some on the line above
-            let am = s.anchored.as_ref().and_then(|(_, m)| m.as_ref()).unwrap();
-            am.fill_ext(bt_bits, offset_cps, ext_len, &mut s.theta_ext);
+            {
+                // Scoped so the Gfsk span closes before CpCompat opens —
+                // sibling phases, not nested (the causal trace parents
+                // both directly under the synthesize root).
+                let _sp = telemetry::span(SpanKind::Gfsk);
+                let phase_len =
+                    (bt_bits.len() + 2 * self.gfsk.guard_bits) * self.gfsk.sps();
+                let ext_len = self.cp.n_blocks(phase_len.max(1)) * self.cp.block_len() + 1;
+                // lint: allow(panic) anchored_for returned Some on the line above
+                let am = s.anchored.as_ref().and_then(|(_, m)| m.as_ref()).unwrap();
+                am.fill_ext(bt_bits, offset_cps, ext_len, &mut s.theta_ext);
+            }
             let _sp2 = telemetry::span(SpanKind::CpCompat);
             self.cp.pocket_map_into(&s.theta_ext, &mut s.theta_hat);
         } else {

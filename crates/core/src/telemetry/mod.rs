@@ -17,6 +17,11 @@
 //!   appends a `(kind, start_ns, dur_ns)` record to a fixed-capacity ring
 //!   ([`SPAN_RING_CAPACITY`]) that overwrites its oldest entry when full.
 //!   Timestamps are monotonic nanoseconds since the recorder's first use.
+//! * **Causal traces** — at the `trace` level each span also becomes a
+//!   parent-linked [`trace::TraceEvent`] carrying a per-packet trace ID
+//!   and worker attribution, stored in per-thread rings with
+//!   tail-exemplar retention and exportable as Chrome `trace_event` JSON
+//!   (see [`trace`]).
 //!
 //! Everything is preallocated or static, so steady-state recording
 //! performs **zero heap allocations per packet** — proven by the
@@ -27,8 +32,11 @@
 //!
 //! The runtime level mirrors `BLUEFI_THREADS`: the `BLUEFI_TELEMETRY`
 //! environment variable selects `off` (default), `counters` (counters,
-//! gauges and aggregate timing histograms) or `spans` (everything plus the
-//! per-event ring). [`set_level`] overrides it programmatically. When the
+//! gauges and aggregate timing histograms), `spans` (everything plus the
+//! per-event ring) or `trace` (everything plus causal per-packet traces).
+//! An unrecognized value falls back to `off` and records a one-shot
+//! [`warnings`] entry surfaced by [`snapshot`].
+//! [`set_level`] overrides it programmatically. When the
 //! `telemetry` cargo feature is disabled, [`compiled`] is `const false`
 //! and every hook const-folds to a no-op — the same pattern as
 //! `bluefi_dsp::contracts`.
@@ -41,12 +49,13 @@
 
 pub mod hist;
 pub mod table;
+pub mod trace;
 
 pub use hist::{Histogram, N_BUCKETS};
 pub use table::Table;
 
 use crate::json::{Json, ToJson};
-use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
@@ -59,6 +68,9 @@ pub enum Level {
     Counters = 1,
     /// Everything in `Counters`, plus per-event span records in the ring.
     Spans = 2,
+    /// Everything in `Spans`, plus causal per-packet traces (see
+    /// [`trace`]).
+    Trace = 3,
 }
 
 impl Level {
@@ -68,15 +80,18 @@ impl Level {
             Level::Off => "off",
             Level::Counters => "counters",
             Level::Spans => "spans",
+            Level::Trace => "trace",
         }
     }
 
-    /// Parses a `BLUEFI_TELEMETRY` value (`off` / `counters` / `spans`).
+    /// Parses a `BLUEFI_TELEMETRY` value (`off` / `counters` / `spans` /
+    /// `trace`).
     pub fn parse(text: &str) -> Option<Level> {
         match text.trim().to_ascii_lowercase().as_str() {
             "off" | "0" | "none" => Some(Level::Off),
             "counters" | "1" => Some(Level::Counters),
             "spans" | "2" => Some(Level::Spans),
+            "trace" | "3" => Some(Level::Trace),
             _ => None,
         }
     }
@@ -94,9 +109,45 @@ const LEVEL_UNSET: u8 = u8::MAX;
 static LEVEL: AtomicU8 = AtomicU8::new(LEVEL_UNSET);
 
 /// The level requested by the `BLUEFI_TELEMETRY` environment variable, if
-/// set to a recognized value.
+/// set to a recognized value. A set-but-unrecognized value records a
+/// one-shot entry in [`warnings`] instead of failing silently.
 pub fn env_level() -> Option<Level> {
-    std::env::var("BLUEFI_TELEMETRY").ok().and_then(|v| Level::parse(&v))
+    let raw = std::env::var("BLUEFI_TELEMETRY").ok()?;
+    let parsed = Level::parse(&raw);
+    if parsed.is_none() {
+        static WARNED: AtomicBool = AtomicBool::new(false);
+        if !WARNED.swap(true, Ordering::Relaxed) {
+            push_warning(format!(
+                "invalid BLUEFI_TELEMETRY value {raw:?}: expected \
+                 off|counters|spans|trace (or 0..3); telemetry stays off"
+            ));
+        }
+    }
+    parsed
+}
+
+/// Maximum retained [`warnings`] entries (the recorder never grows
+/// unboundedly on a misconfiguration loop).
+const MAX_WARNINGS: usize = 16;
+
+fn warnings_store() -> &'static Mutex<Vec<String>> {
+    static WARNINGS: OnceLock<Mutex<Vec<String>>> = OnceLock::new();
+    WARNINGS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn push_warning(msg: String) {
+    let mut w = warnings_store().lock().unwrap_or_else(|p| p.into_inner());
+    if w.len() < MAX_WARNINGS {
+        w.push(msg);
+    }
+}
+
+/// Configuration warnings recorded so far (e.g. an invalid
+/// `BLUEFI_TELEMETRY` value). Exported on every [`Snapshot`] and *not*
+/// cleared by [`reset`] — a misconfiguration stays visible for the whole
+/// process lifetime.
+pub fn warnings() -> Vec<String> {
+    warnings_store().lock().unwrap_or_else(|p| p.into_inner()).clone()
 }
 
 /// The active recording level. Initialized lazily from `BLUEFI_TELEMETRY`
@@ -110,6 +161,7 @@ pub fn level() -> Level {
         0 => Level::Off,
         1 => Level::Counters,
         2 => Level::Spans,
+        3 => Level::Trace,
         _ => {
             let l = env_level().unwrap_or(Level::Off);
             set_level(l);
@@ -118,14 +170,18 @@ pub fn level() -> Level {
     }
 }
 
-/// Sets the recording level. Entering [`Level::Spans`] preallocates the
-/// span ring so the steady state that follows never allocates.
+/// Sets the recording level. Entering [`Level::Spans`] or above
+/// preallocates the span ring — and [`Level::Trace`] the calling thread's
+/// trace state — so the steady state that follows never allocates.
 pub fn set_level(l: Level) {
     if !compiled() {
         return;
     }
-    if l == Level::Spans {
+    if l >= Level::Spans {
         ring(); // warm the ring allocation outside the hot path
+    }
+    if l >= Level::Trace {
+        trace::warm();
     }
     LEVEL.store(l as u8, Ordering::Relaxed);
 }
@@ -140,6 +196,12 @@ pub fn counters_on() -> bool {
 #[inline]
 pub fn spans_on() -> bool {
     compiled() && level() >= Level::Spans
+}
+
+/// True when causal per-packet traces are being captured.
+#[inline]
+pub fn trace_on() -> bool {
+    compiled() && level() >= Level::Trace
 }
 
 macro_rules! metric_enum {
@@ -228,6 +290,7 @@ metric_enum! {
         ParWorkerIdle => "par_worker_idle",
         SimSession => "sim_session",
         TemplatePatch => "template_patch",
+        TemplateBuild => "template_build",
     }
 }
 
@@ -432,11 +495,11 @@ pub fn record_duration(kind: SpanKind, dur: Duration) {
     let ns = dur.as_nanos().min(u64::MAX as u128) as u64;
     SPAN_HISTS[kind as usize].record(ns);
     if spans_on() {
-        push_event(SpanEvent {
-            kind,
-            start_ns: now_ns().saturating_sub(ns),
-            dur_ns: ns,
-        });
+        let start_ns = now_ns().saturating_sub(ns);
+        push_event(SpanEvent { kind, start_ns, dur_ns: ns });
+        if let Some(open) = trace::open() {
+            trace::close(open, kind, start_ns, ns, 0);
+        }
     }
 }
 
@@ -447,6 +510,7 @@ pub fn record_duration(kind: SpanKind, dur: Duration) {
 pub struct SpanGuard {
     kind: SpanKind,
     start: Option<(u64, Instant)>,
+    traced: Option<trace::OpenSpan>,
 }
 
 impl Drop for SpanGuard {
@@ -459,18 +523,69 @@ impl Drop for SpanGuard {
                     push_event(SpanEvent { kind: self.kind, start_ns, dur_ns: ns });
                 }
             }
+            // Close even if the level dropped mid-span: the parent stack
+            // must stay balanced.
+            if let Some(open) = self.traced.take() {
+                trace::close(open, self.kind, start_ns, ns, 0);
+            }
         }
     }
 }
 
 /// Opens a timed span; the region ends (and is recorded) when the guard
-/// drops.
+/// drops. At [`Level::Trace`] the span also joins the calling thread's
+/// causal trace (see [`trace`]).
 #[inline]
 pub fn span(kind: SpanKind) -> SpanGuard {
     if !counters_on() {
-        return SpanGuard { kind, start: None };
+        return SpanGuard { kind, start: None, traced: None };
     }
-    SpanGuard { kind, start: Some((now_ns(), Instant::now())) }
+    SpanGuard { kind, start: Some((now_ns(), Instant::now())), traced: trace::open() }
+}
+
+/// A trace-only drop-guard: records a parent-linked [`trace::TraceEvent`]
+/// without touching the aggregate histograms or the span ring — used for
+/// sub-stage attribution (e.g. the patch path's stages reusing the
+/// pipeline-phase kinds) where histogram entries would distort the
+/// aggregate statistics. Inert below [`Level::Trace`].
+#[must_use = "the span measures until the guard drops"]
+#[derive(Debug)]
+pub struct TraceSpan {
+    kind: SpanKind,
+    start: Option<(u64, Instant)>,
+    open: Option<trace::OpenSpan>,
+    detail: u64,
+}
+
+impl TraceSpan {
+    /// Attaches a kind-specific payload exported as the event's `detail`
+    /// (e.g. dirty symbols requantized, FEC rows replayed).
+    pub fn set_detail(&mut self, v: u64) {
+        self.detail = v;
+    }
+}
+
+impl Drop for TraceSpan {
+    fn drop(&mut self) {
+        if let (Some((start_ns, t)), Some(open)) = (self.start, self.open.take()) {
+            let ns = t.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            trace::close(open, self.kind, start_ns, ns, self.detail);
+        }
+    }
+}
+
+/// Opens a trace-only span (see [`TraceSpan`]).
+#[inline]
+pub fn trace_span(kind: SpanKind) -> TraceSpan {
+    if !trace_on() {
+        return TraceSpan { kind, start: None, open: None, detail: 0 };
+    }
+    TraceSpan {
+        kind,
+        start: Some((now_ns(), Instant::now())),
+        open: trace::open(),
+        detail: 0,
+    }
 }
 
 /// The aggregate timing histogram for one span kind (empty when that kind
@@ -516,6 +631,9 @@ pub struct Snapshot {
     pub events: Vec<SpanEvent>,
     /// Events overwritten because the ring was full.
     pub dropped_events: u64,
+    /// Configuration warnings (see [`warnings`]); not cleared by
+    /// [`reset`].
+    pub warnings: Vec<String>,
 }
 
 impl Snapshot {
@@ -603,6 +721,10 @@ impl ToJson for Snapshot {
                 Json::Arr(self.events.iter().map(ToJson::to_json).collect()),
             ),
             ("dropped_events", Json::Num(self.dropped_events as f64)),
+            (
+                "warnings",
+                Json::Arr(self.warnings.iter().map(|w| Json::Str(w.clone())).collect()),
+            ),
         ])
     }
 }
@@ -625,11 +747,20 @@ pub fn snapshot() -> Snapshot {
         events.extend_from_slice(&r.buf[..r.head]);
         (events, r.dropped)
     };
-    Snapshot { level: level(), counters, gauges, spans, events, dropped_events }
+    Snapshot {
+        level: level(),
+        counters,
+        gauges,
+        spans,
+        events,
+        dropped_events,
+        warnings: warnings(),
+    }
 }
 
-/// Zeroes every counter, gauge and histogram and clears the span ring
-/// (capacity retained). The level is unchanged.
+/// Zeroes every counter, gauge and histogram and clears the span ring and
+/// every trace ring (capacities retained). The level and [`warnings`] are
+/// unchanged.
 pub fn reset() {
     for cell in &COUNTERS {
         cell.store(0, Ordering::Relaxed);
@@ -644,6 +775,8 @@ pub fn reset() {
     r.buf.clear();
     r.head = 0;
     r.dropped = 0;
+    drop(r);
+    trace::reset_all();
 }
 
 #[cfg(test)]
@@ -664,11 +797,13 @@ mod tests {
 
     #[test]
     fn level_parse_roundtrip() {
-        for l in [Level::Off, Level::Counters, Level::Spans] {
+        for l in [Level::Off, Level::Counters, Level::Spans, Level::Trace] {
             assert_eq!(Level::parse(l.name()), Some(l));
         }
         assert_eq!(Level::parse(" SPANS "), Some(Level::Spans));
+        assert_eq!(Level::parse("3"), Some(Level::Trace));
         assert_eq!(Level::parse("garbage"), None);
+        assert!(Level::Trace > Level::Spans, "trace strictly extends spans");
     }
 
     #[test]
@@ -794,7 +929,11 @@ mod tests {
             Some(4096.0)
         );
         assert_eq!(SpanKind::TemplatePatch.name(), "template_patch");
+        assert_eq!(SpanKind::TemplateBuild.name(), "template_build");
         assert!(j.get("span_events").and_then(Json::as_arr).is_some());
+        // Configuration warnings are part of the exported schema (always
+        // present, usually empty).
+        assert!(j.get("warnings").and_then(Json::as_arr).is_some());
         set_level(Level::Off);
         reset();
     }

@@ -372,6 +372,10 @@ impl CachedEngine {
         seed: u8,
         s: &mut SynthesisScratch,
     ) -> Arc<Template> {
+        // The build span encloses the cold synthesis, so a miss packet's
+        // causal trace roots at `template_build` with the five pipeline
+        // phases (under `synthesize`) as descendants.
+        let _sp = telemetry::span(SpanKind::TemplateBuild);
         self.bf.synthesize_at_with(bt_bits, plan, seed, s);
         // lint: allow(panic) the cold pipeline always stores a result
         let base = s.result.as_ref().unwrap().clone();
@@ -439,6 +443,13 @@ impl CachedEngine {
         let offset_cps =
             plan.tx_subcarrier * SUBCARRIER_SPACING_HZ / self.bf.gfsk.sample_rate_hz;
 
+        // Trace-only sub-stage spans reuse the pipeline-phase kinds so a
+        // patched packet's causal trace shows the same five-phase shape as
+        // a cold one — without feeding the aggregate phase histograms
+        // (patch stages are orders of magnitude cheaper and would distort
+        // the per-stage statistics).
+        let sp_splice = telemetry::trace_span(SpanKind::Gfsk);
+
         // 1. Splice the extended phase: every sample before the first
         // mutated bit's pulse window is copied from the base fill (it is
         // float-identical by the anchored closed form), and only the
@@ -463,12 +474,19 @@ impl CachedEngine {
         let Some(t_fill) = filled else {
             // Unreachable in practice — eligibility pinned the anchored
             // mode — but degrade to the cold engine rather than panic.
+            drop(sp_splice);
             telemetry::incr(Counter::TemplateBypass);
             return self.bf.synthesize_at_with(bt_bits, plan, seed, s);
         };
 
+        drop(sp_splice);
+
         // 2. Pocket map (cheap full pass; identical code path as cold).
-        self.bf.cp.pocket_map_into(&s.theta_ext, &mut s.theta_hat);
+        {
+            let _sp_pocket = telemetry::trace_span(SpanKind::CpCompat);
+            self.bf.cp.pocket_map_into(&s.theta_ext, &mut s.theta_hat);
+        }
+        let mut sp_requant = telemetry::trace_span(SpanKind::Quantize);
 
         // 3. Dirty scan + local requantize. OFDM symbol b reads extended
         // phase [b·bl, (b+1)·bl] inclusive (the +1 is the windowing
@@ -518,6 +536,9 @@ impl CachedEngine {
             }
         }
         let mean_quant_error_db = err_sum / n_symbols.max(1) as f64;
+        sp_requant.set_detail(dirty_count);
+        drop(sp_requant);
+        let mut sp_fec = telemetry::trace_span(SpanKind::FecReversal);
 
         // 4. FEC reversal: suffix-incremental for Front-edge plans; Back
         // lacks the prefix structure, so it replays the (still cached) full
@@ -558,6 +579,12 @@ impl CachedEngine {
                 0
             }
         };
+        sp_fec.set_detail(rt_plan.replayed_rows_from(match tpl.edge {
+            FreeEdge::Front => t_start,
+            FreeEdge::Back => 0,
+        }) as u64);
+        drop(sp_fec);
+        let _sp_extract = telemetry::trace_span(SpanKind::Extract);
 
         // 5. PSDU bytes: prefix copied from the base, suffix re-descrambled
         // with the stored sequence. The PSDU region is never forced, so the

@@ -1,0 +1,275 @@
+//! Integration tests for causal per-packet tracing: ring overflow with
+//! drop accounting, cross-worker trace-ID integrity at several worker
+//! counts, tail-exemplar retention across ring wrap, and a schema pin on
+//! the Chrome `trace_event` JSON export.
+//!
+//! The recorder's level and the trace registry are process-global, so
+//! every test serializes on [`lock`] and restores `Level::Off`.
+
+use bluefi_core::json::Json;
+use bluefi_core::par::par_map_scratch_n;
+use bluefi_core::pipeline::{BlueFi, SynthesisScratch};
+use bluefi_core::telemetry::{self, trace, Level, SpanKind};
+use bluefi_wifi::channels::plan_channel;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::{Mutex, MutexGuard};
+
+fn lock() -> MutexGuard<'static, ()> {
+    static GATE: Mutex<()> = Mutex::new(());
+    GATE.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+fn test_bits() -> Vec<bool> {
+    (0..368).map(|i| i % 5 == 0 || i % 11 == 3).collect()
+}
+
+#[test]
+fn ring_overflow_counts_dropped_events() {
+    let _g = lock();
+    telemetry::set_level(Level::Trace);
+    telemetry::reset();
+    const EXTRA: usize = 50;
+    // Each guard is a single-span root packet: it flushes straight to the
+    // ring on close. Overfill by EXTRA to force overwrite-oldest.
+    for _ in 0..trace::TRACE_RING_CAPACITY + EXTRA {
+        let _sp = telemetry::span(SpanKind::Synthesize);
+    }
+    let snap = trace::snapshot();
+    assert_eq!(snap.events.len(), trace::TRACE_RING_CAPACITY);
+    assert_eq!(snap.dropped_events, EXTRA as u64);
+    assert_eq!(snap.truncated_spans, 0);
+    // Overwrite-oldest: the surviving events are the newest ones, so the
+    // smallest retained trace ID is EXTRA roots past the smallest drawn.
+    let ids: BTreeSet<u64> = snap.events.iter().map(|e| e.trace_id).collect();
+    assert_eq!(ids.len(), trace::TRACE_RING_CAPACITY, "all roots distinct");
+    let min = *ids.iter().next().unwrap();
+    let max = *ids.iter().next_back().unwrap();
+    assert_eq!(max - min + 1, trace::TRACE_RING_CAPACITY as u64, "contiguous newest window");
+    telemetry::set_level(Level::Off);
+    telemetry::reset();
+}
+
+/// Cross-worker trace-ID integrity: at 1, 2 and 4 workers, every packet's
+/// spans share one trace ID and one worker tag, every child links to a
+/// parent within its own trace, and each synthesize span has all five
+/// pipeline phases as direct children.
+#[test]
+fn trace_ids_are_consistent_across_worker_counts() {
+    let _g = lock();
+    let bf = BlueFi::default();
+    let plan = plan_channel(2.426e9).expect("advertising channel plans");
+    let jobs: Vec<Vec<bool>> = (0..6)
+        .map(|j| {
+            let mut bits = test_bits();
+            bits[j] = !bits[j];
+            bits
+        })
+        .collect();
+    for n_workers in [1usize, 2, 4] {
+        telemetry::set_level(Level::Trace);
+        telemetry::reset();
+        let out = par_map_scratch_n(&jobs, n_workers, SynthesisScratch::new, |scratch, _i, bits| {
+            bf.synthesize_at_with(bits, plan, 71, scratch).psdu.len()
+        });
+        assert_eq!(out.len(), jobs.len());
+        let snap = trace::snapshot();
+
+        // Group events by trace ID and check per-trace invariants.
+        let mut traces: BTreeMap<u64, Vec<&trace::TraceEvent>> = BTreeMap::new();
+        for ev in &snap.events {
+            traces.entry(ev.trace_id).or_default().push(ev);
+        }
+        let mut synth_spans = 0usize;
+        for (tid, evs) in &traces {
+            let roots: Vec<_> =
+                evs.iter().filter(|e| e.parent_id == trace::NO_PARENT).collect();
+            assert_eq!(roots.len(), 1, "trace {tid} has exactly one root ({n_workers} workers)");
+            let workers: BTreeSet<u32> = evs.iter().map(|e| e.worker).collect();
+            assert_eq!(workers.len(), 1, "trace {tid} spans a single worker");
+            let span_ids: BTreeSet<u32> = evs.iter().map(|e| e.span_id).collect();
+            assert_eq!(span_ids.len(), evs.len(), "span IDs unique within trace {tid}");
+            for ev in evs {
+                if ev.parent_id != trace::NO_PARENT {
+                    assert!(
+                        span_ids.contains(&ev.parent_id),
+                        "trace {tid}: child {} links to a span in its own trace",
+                        ev.span_id
+                    );
+                }
+            }
+            // Every synthesize span carries the full five-phase breakdown.
+            for sp in evs.iter().filter(|e| e.kind == SpanKind::Synthesize) {
+                synth_spans += 1;
+                for phase in SpanKind::pipeline_phases() {
+                    let n = evs
+                        .iter()
+                        .filter(|e| e.kind == phase && e.parent_id == sp.span_id)
+                        .count();
+                    assert_eq!(n, 1, "trace {tid}: one {} child per packet", phase.name());
+                }
+            }
+        }
+        assert_eq!(synth_spans, jobs.len(), "one synthesize span per job at {n_workers} workers");
+        if n_workers >= 2 {
+            // Spawned workers are tagged 1-based; at least two must appear.
+            let workers: BTreeSet<u32> = snap
+                .events
+                .iter()
+                .filter(|e| e.kind == SpanKind::Synthesize)
+                .map(|e| e.worker)
+                .collect();
+            assert!(
+                workers.len() >= 2 && workers.iter().all(|&w| w >= 1),
+                "packets attributed to ≥2 spawned workers, got {workers:?}"
+            );
+        }
+    }
+    telemetry::set_level(Level::Off);
+    telemetry::reset();
+}
+
+/// Tail exemplars keep the slowest packet's complete span set alive even
+/// after the ring has wrapped past it.
+#[test]
+fn exemplars_survive_ring_wrap() {
+    let _g = lock();
+    telemetry::set_level(Level::Trace);
+    telemetry::reset();
+    // One deliberately slow packet...
+    {
+        let _sp = telemetry::span(SpanKind::Synthesize);
+        let _child = telemetry::span(SpanKind::Gfsk);
+        std::thread::sleep(std::time::Duration::from_millis(3));
+    }
+    let slow_id = {
+        let snap = trace::snapshot();
+        snap.events
+            .iter()
+            .find(|e| e.parent_id == trace::NO_PARENT && e.dur_ns >= 2_000_000)
+            .expect("slow root recorded")
+            .trace_id
+    };
+    // ...then enough fast packets to wrap the ring completely.
+    for _ in 0..trace::TRACE_RING_CAPACITY {
+        let _sp = telemetry::span(SpanKind::Synthesize);
+    }
+    let snap = trace::snapshot();
+    assert!(snap.dropped_events > 0, "ring wrapped");
+    assert!(
+        snap.events.iter().all(|e| e.trace_id != slow_id),
+        "slow packet was overwritten in the ring"
+    );
+    // The exemplar slots retained it, slowest first, span set intact.
+    let top = snap.exemplars.first().expect("exemplars retained");
+    assert!(top.root_dur_ns >= 2_000_000);
+    assert!(top.events.iter().all(|e| e.trace_id == slow_id));
+    assert_eq!(top.events.len(), 2, "root and child both retained");
+    telemetry::set_level(Level::Off);
+    telemetry::reset();
+}
+
+/// Schema pin for the Chrome `trace_event` export: field names, phase
+/// markers, null parent on roots, thread-name metadata, `otherData`
+/// accounting, and cross-section deduplication.
+#[test]
+fn chrome_trace_export_schema() {
+    let _g = lock();
+    telemetry::set_level(Level::Trace);
+    telemetry::reset();
+    let bf = BlueFi::default();
+    let plan = plan_channel(2.426e9).expect("advertising channel plans");
+    let mut scratch = SynthesisScratch::new();
+    bf.synthesize_at_with(&test_bits(), plan, 71, &mut scratch);
+    {
+        // A span on a tagged worker so the export carries a non-main tid.
+        let _tag = trace::worker_scope(3);
+        let _sp = telemetry::span(SpanKind::Synthesize);
+    }
+    let snap = trace::snapshot();
+    // Passing the same section twice must not duplicate events.
+    let doc = trace::chrome_trace(&[snap.clone(), snap]);
+    let text = doc.render();
+    let parsed = Json::parse(&text).expect("export is valid JSON");
+
+    assert_eq!(parsed.get("displayTimeUnit").and_then(Json::as_str), Some("ns"));
+    let events = parsed
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("traceEvents array");
+    let xs: Vec<&Json> = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+        .collect();
+    let metas: Vec<&Json> = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(Json::as_str) == Some("M"))
+        .collect();
+    assert!(!xs.is_empty() && !metas.is_empty());
+    assert_eq!(events.len(), xs.len() + metas.len(), "only X and M records");
+
+    for m in &metas {
+        assert_eq!(m.get("name").and_then(Json::as_str), Some("thread_name"));
+        assert!(m.get("tid").and_then(Json::as_f64).is_some());
+        let label = m.get("args").and_then(|a| a.get("name")).and_then(Json::as_str);
+        assert!(
+            label == Some("main") || label.is_some_and(|l| l.starts_with("worker-")),
+            "thread label {label:?}"
+        );
+    }
+    let mut keyed: BTreeSet<(u64, u64)> = BTreeSet::new();
+    for e in &xs {
+        assert_eq!(e.get("cat").and_then(Json::as_str), Some("bluefi"));
+        assert_eq!(e.get("pid").and_then(Json::as_f64), Some(1.0));
+        assert!(e.get("name").and_then(Json::as_str).is_some());
+        for field in ["tid", "ts", "dur"] {
+            assert!(e.get(field).and_then(Json::as_f64).is_some(), "{field} present");
+        }
+        let args = e.get("args").expect("args object");
+        for field in ["trace_id", "span_id", "worker", "detail"] {
+            assert!(args.get(field).and_then(Json::as_f64).is_some(), "args.{field}");
+        }
+        assert!(args.get("parent_id").is_some(), "args.parent_id present (may be null)");
+        let key = (
+            args.get("trace_id").and_then(Json::as_f64).unwrap() as u64,
+            args.get("span_id").and_then(Json::as_f64).unwrap() as u64,
+        );
+        assert!(keyed.insert(key), "duplicate event {key:?} despite two sections");
+    }
+    // The synthesize root is parentless; all five phases link to it.
+    let root = xs
+        .iter()
+        .find(|e| {
+            e.get("name").and_then(Json::as_str) == Some("synthesize")
+                && e.get("args").and_then(|a| a.get("parent_id")) == Some(&Json::Null)
+                && e.get("tid").and_then(Json::as_f64) == Some(0.0)
+        })
+        .expect("parentless synthesize root on the main thread");
+    let root_args = root.get("args").unwrap();
+    let root_trace = root_args.get("trace_id").and_then(Json::as_f64).unwrap();
+    let root_span = root_args.get("span_id").and_then(Json::as_f64).unwrap();
+    for phase in SpanKind::pipeline_phases() {
+        assert!(
+            xs.iter().any(|e| {
+                let a = e.get("args").unwrap();
+                e.get("name").and_then(Json::as_str) == Some(phase.name())
+                    && a.get("trace_id").and_then(Json::as_f64) == Some(root_trace)
+                    && a.get("parent_id").and_then(Json::as_f64) == Some(root_span)
+            }),
+            "{} child linked to root",
+            phase.name()
+        );
+    }
+    // The tagged worker shows up as its own tid with a thread_name record.
+    assert!(xs.iter().any(|e| e.get("tid").and_then(Json::as_f64) == Some(3.0)));
+    assert!(metas.iter().any(|m| {
+        m.get("tid").and_then(Json::as_f64) == Some(3.0)
+            && m.get("args").and_then(|a| a.get("name")).and_then(Json::as_str)
+                == Some("worker-3")
+    }));
+    let other = parsed.get("otherData").expect("otherData object");
+    for field in ["dropped_events", "truncated_spans", "exemplar_packets"] {
+        assert!(other.get(field).and_then(Json::as_f64).is_some(), "otherData.{field}");
+    }
+    telemetry::set_level(Level::Off);
+    telemetry::reset();
+}
