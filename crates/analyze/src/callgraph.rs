@@ -53,6 +53,7 @@ pub const LAYERS: &[(&str, u8)] = &[
     ("sim", 4),
     ("analyze", 4),
     ("apps", 5),
+    ("service", 5),
     ("bench", 6),
     ("conformance", 6),
 ];
@@ -431,6 +432,9 @@ mod tests {
         assert!(layer_of("bt") < layer_of("core"));
         assert!(layer_of("core") < layer_of("sim"));
         assert!(layer_of("apps") < layer_of("bench"));
+        assert_eq!(layer_of("apps"), layer_of("service"));
+        assert!(layer_of("service") < layer_of("bench"));
+        assert!(layer_of("service") < layer_of("conformance"));
         assert_eq!(layer_of("nonsuch"), None);
     }
 

@@ -267,16 +267,16 @@ pub fn scope_for(rel_path: &str) -> Scope {
     Scope {
         no_panics: !is_binary,
         no_unsafe: true,
-        doc_comments: !is_binary && matches!(krate, "dsp" | "wifi" | "core" | "analyze"),
-        no_float_eq: !is_binary && matches!(krate, "dsp" | "wifi" | "bt" | "core"),
+        doc_comments: !is_binary && matches!(krate, "dsp" | "wifi" | "core" | "analyze" | "service"),
+        no_float_eq: !is_binary && matches!(krate, "dsp" | "wifi" | "bt" | "core" | "service"),
         hot_loop_alloc: !is_binary && matches!(krate, "dsp" | "wifi" | "coding"),
         adhoc_print: !is_binary
             && matches!(
                 krate,
-                "dsp" | "coding" | "wifi" | "bt" | "core" | "sim" | "apps" | "analyze"
+                "dsp" | "coding" | "wifi" | "bt" | "core" | "sim" | "apps" | "analyze" | "service"
             ),
         layering: true,
-        atomics: !is_binary && matches!(krate, "core" | "coding" | "dsp"),
+        atomics: !is_binary && matches!(krate, "core" | "coding" | "dsp" | "service"),
     }
 }
 
@@ -614,6 +614,10 @@ mod tests {
         assert!(s.adhoc_print);
         let s = scope_for("crates/analyze/src/rules.rs");
         assert!(s.doc_comments && s.adhoc_print, "the analyzer lints itself");
+        let s = scope_for("crates/service/src/server.rs");
+        assert!(s.no_panics && s.doc_comments && s.no_float_eq && s.adhoc_print && s.atomics);
+        let s = scope_for("crates/service/src/bin/bluefi-serviced.rs");
+        assert!(!s.no_panics && !s.adhoc_print, "the daemon binary may print");
         let s = scope_for("tests/e2e_audio.rs");
         assert!(!s.no_panics && !s.no_unsafe && !s.layering);
     }

@@ -162,7 +162,7 @@ mod tests {
     #[test]
     fn conformance_manifest_shape_is_hermetic() {
         // The exact dependency shape of `crates/conformance/Cargo.toml`:
-        // six sibling crates, workspace-inherited metadata, nothing else.
+        // seven sibling crates, workspace-inherited metadata, nothing else.
         // Keeping this fixture in sync with the real manifest means R3
         // provably covers the conformance crate's shape, not just generic
         // examples.
@@ -175,7 +175,8 @@ mod tests {
                     bluefi-wifi.workspace = true\n\
                     bluefi-bt.workspace = true\n\
                     bluefi-core.workspace = true\n\
-                    bluefi-sim.workspace = true\n";
+                    bluefi-sim.workspace = true\n\
+                    bluefi-service.workspace = true\n";
         assert!(scan_manifest("crates/conformance/Cargo.toml", text).is_empty());
         // And the same shape with one external fixture-diffing crate
         // sneaked in must fire.

@@ -84,6 +84,7 @@ const METRICS: &[(&str, Class)] = &[
     ("beacon_fleet.patch_p99_us", Class::TailUs),
     ("beacon_fleet.speedup_vs_fleet_cold", Class::HigherBetter),
     ("batch.threads[workers=1].packets_per_s", Class::HigherBetter),
+    ("service_soak.requests_per_s", Class::HigherBetter),
     ("allocs_per_packet.steady_state", Class::Alloc),
     ("telemetry.allocs_per_packet_enabled", Class::Alloc),
     ("telemetry.allocs_per_packet_disabled", Class::Alloc),

@@ -177,14 +177,15 @@ fn main() {
             t0.elapsed().as_secs_f64() * 1e6
         })
         .collect();
-    let memo_hits = counter_value(&telemetry::snapshot(), "viterbi_memo_hits") - memo_before;
 
-    // Section boundary: latency/per-stage/repeat numbers are final; reset
-    // so the next section starts from zero (capturing traces first).
+    // Section boundary: latency/per-stage/repeat numbers are final; drain
+    // so the next section starts from zero. Traces are captured first —
+    // the reset inside `drain_section` clears the trace rings too.
     if tracing {
         trace_sections.push(telemetry::trace::snapshot());
     }
-    telemetry::reset();
+    let repeat_section = telemetry::drain_section();
+    let memo_hits = counter_value(&repeat_section, "viterbi_memo_hits") - memo_before;
 
     // -- Steady-state allocations per packet ------------------------------
     // The probe only counts in contracts+debug builds; release builds
@@ -200,7 +201,7 @@ fn main() {
     if tracing {
         trace_sections.push(telemetry::trace::snapshot());
     }
-    telemetry::reset();
+    telemetry::drain_section();
 
     // -- Batch throughput on the Fig 9 workload ---------------------------
     // One beacon per usable even-indexed Bluetooth channel, repeated until
@@ -271,7 +272,7 @@ fn main() {
     if tracing {
         trace_sections.push(telemetry::trace::snapshot());
     }
-    telemetry::reset();
+    telemetry::drain_section();
 
     // -- Beacon-fleet template cache --------------------------------------
     // The production beacon-fleet shape: one payload class per key, with a
@@ -325,16 +326,15 @@ fn main() {
             t0.elapsed().as_secs_f64() * 1e6
         })
         .collect();
-    let fleet_after = telemetry::snapshot();
-    let fleet_hits =
-        counter_value(&fleet_after, "template_hit") - counter_value(&fleet_before, "template_hit");
-
-    // Section boundary after the fleet cold/patch comparison; each sweep
-    // point below then resets again so its counters are per-point.
+    // Section boundary after the fleet cold/patch comparison (the drained
+    // snapshot doubles as the section's counter readout); each sweep point
+    // below then drains again so its counters are per-point.
     if tracing {
         trace_sections.push(telemetry::trace::snapshot());
     }
-    telemetry::reset();
+    let fleet_after = telemetry::drain_section();
+    let fleet_hits =
+        counter_value(&fleet_after, "template_hit") - counter_value(&fleet_before, "template_hit");
 
     // Hit-rate sweep: round-robin K distinct scrambler seeds (K distinct
     // templates) over the stream so the first use of each key misses and
@@ -349,19 +349,21 @@ fn main() {
         let seeds: Vec<u8> = (0..k).map(|i| (i % 126 + 1) as u8).collect();
         let engine = CachedEngine::new(fleet_bf.clone());
         let mut scratch = CachedScratch::new();
-        // Per-point boundary: every sweep point's counters and traces
-        // start from zero rather than accumulating across targets.
-        telemetry::reset();
-        let before = telemetry::snapshot();
         let t0 = Instant::now();
         for (i, b) in fleet_payloads.iter().enumerate() {
             std::hint::black_box(engine.synthesize_at_with(b, plan, seeds[i % k], &mut scratch));
         }
         let dt = t0.elapsed().as_secs_f64();
-        let after = telemetry::snapshot();
-        let hits = counter_value(&after, "template_hit") - counter_value(&before, "template_hit");
-        let misses =
-            counter_value(&after, "template_miss") - counter_value(&before, "template_miss");
+        // Per-point boundary: the drained snapshot is this point's counter
+        // readout, and the reset means the next point (and the next
+        // section) starts from zero. The preceding section boundary
+        // guarantees the first point starts clean too.
+        if tracing {
+            trace_sections.push(telemetry::trace::snapshot());
+        }
+        let point = telemetry::drain_section();
+        let hits = counter_value(&point, "template_hit");
+        let misses = counter_value(&point, "template_miss");
         let observed = 100.0 * hits as f64 / (hits + misses).max(1) as f64;
         let pps = n_fleet as f64 / dt;
         sweep_rows.push(vec![
@@ -376,11 +378,59 @@ fn main() {
             ("distinct_keys", Json::Num(k as f64)),
             ("packets_per_s", Json::Num(pps)),
         ]));
-        if tracing {
-            trace_sections.push(telemetry::trace::snapshot());
-        }
     }
-    telemetry::reset();
+
+    // -- Service soak (daemon transport overhead) -------------------------
+    // The full `bluefi-service` stack — unix socket, frame codec, bounded
+    // queue, worker pool — over the deterministic mock backend, so the
+    // requests/s number isolates transport cost from synthesis cost.
+    let soak_clients = 16usize;
+    let soak_reqs = 25usize;
+    let soak_path = std::env::temp_dir().join(format!("bluefi-profile-{}.sock", std::process::id()));
+    let soak_path = soak_path.to_string_lossy().to_string();
+    let soak_server = bluefi_service::Server::spawn(
+        &soak_path,
+        std::sync::Arc::new(bluefi_service::MockBackend::new()),
+        bluefi_service::ServiceConfig::default(),
+    )
+    // lint: allow(panic) a fresh socket in the temp dir must bind
+    .expect("bind soak socket");
+    let soak_bits = &variants[0];
+    let soak_ok = std::sync::atomic::AtomicU64::new(0);
+    let soak_t0 = Instant::now();
+    std::thread::scope(|s| {
+        for c in 0..soak_clients {
+            let path = &soak_path;
+            let ok = &soak_ok;
+            s.spawn(move || {
+                let Ok(mut client) = bluefi_service::ServiceClient::connect(path) else {
+                    return;
+                };
+                let _ = client.set_timeout(std::time::Duration::from_secs(10));
+                let channel = [10u8, 24, 50][c % 3];
+                for _ in 0..soak_reqs {
+                    if client.synthesize(soak_bits, channel, 71).is_ok() {
+                        ok.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
+    let soak_dt = soak_t0.elapsed().as_secs_f64();
+    let soak_total = (soak_clients * soak_reqs) as u64;
+    let soak_ok = soak_ok.into_inner();
+    let soak_rps = soak_ok as f64 / soak_dt.max(1e-9);
+    soak_server.drain();
+    let soak_stopped = soak_server.shutdown();
+    let soak_stats = soak_stopped.stats();
+
+    // Section boundary after the soak (the service spans/counters feed the
+    // same recorder).
+    if tracing {
+        trace_sections.push(telemetry::trace::snapshot());
+    }
+    let soak_section = telemetry::drain_section();
+    let soak_shed = counter_value(&soak_section, "service_shed");
 
     // -- Report -----------------------------------------------------------
     // Sort the latency series once; all percentiles read from it.
@@ -489,6 +539,18 @@ fn main() {
         "\nparallel output bit-exact with sequential: {}",
         if bit_exact { "yes" } else { "NO — determinism violated" }
     ));
+    rep.table(
+        "Runtime profile — service soak (mock backend, transport overhead)",
+        &["clients", "requests", "ok", "shed", "seconds", "requests/s"],
+        vec![vec![
+            format!("{soak_clients}"),
+            format!("{soak_total}"),
+            format!("{soak_ok}"),
+            format!("{soak_shed}"),
+            format!("{soak_dt:.3}"),
+            format!("{soak_rps:.0}"),
+        ]],
+    );
     let cpus = host_cpus();
     if clamped {
         rep.note(format!(
@@ -613,6 +675,19 @@ fn main() {
                     ));
                     Json::Obj(pairs)
                 }),
+            ]),
+        ),
+        (
+            "service_soak",
+            Json::obj(vec![
+                ("backend", Json::Str("mock".to_string())),
+                ("clients", Json::Num(soak_clients as f64)),
+                ("requests", Json::Num(soak_total as f64)),
+                ("ok", Json::Num(soak_ok as f64)),
+                ("shed", Json::Num(soak_shed as f64)),
+                ("server_ok", Json::Num(soak_stats.ok() as f64)),
+                ("seconds", Json::Num(soak_dt)),
+                ("requests_per_s", Json::Num(soak_rps)),
             ]),
         ),
     ]);

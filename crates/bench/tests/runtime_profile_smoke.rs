@@ -125,6 +125,19 @@ fn runtime_profile_emits_valid_report() {
         "child stage shares sum to {share_sum}% (> 100%)"
     );
 
+    // Service soak section: the daemon round-trip ran, every request
+    // succeeded (nothing shed, nothing lost) and the gated throughput
+    // metric is a real number.
+    let soak = report.get("service_soak").expect("service_soak section");
+    assert_eq!(soak.get("backend").and_then(Json::as_str), Some("mock"));
+    let soak_requests = soak.get("requests").and_then(Json::as_f64).expect("requests");
+    assert!(soak_requests > 0.0);
+    assert_eq!(soak.get("ok").and_then(Json::as_f64), Some(soak_requests));
+    assert_eq!(soak.get("server_ok").and_then(Json::as_f64), Some(soak_requests));
+    assert_eq!(soak.get("shed").and_then(Json::as_f64), Some(0.0));
+    let rps = soak.get("requests_per_s").and_then(Json::as_f64).expect("requests_per_s");
+    assert!(rps.is_finite() && rps > 0.0);
+
     // Telemetry section: recording was live and allocation-free both ways.
     let tel = report.get("telemetry").expect("telemetry section");
     assert_eq!(tel.get("level").and_then(Json::as_str), Some("spans"));

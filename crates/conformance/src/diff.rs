@@ -1,9 +1,11 @@
 //! Differential bit-exactness matrix over the pipeline's execution paths.
 //!
-//! The synthesis kernel has accumulated four ways to run — the allocating
+//! The synthesis kernel has accumulated five ways to run — the allocating
 //! API (`synthesize_at`), the zero-alloc scratch API
 //! (`synthesize_at_with`), the parallel batch engine (`SynthesisBatch`),
-//! and the template-cache patch path (`CachedEngine`, compared cold vs
+//! the `bluefi-service` daemon transport (requests over a unix socket,
+//! results decoded from the wire format), and the template-cache patch
+//! path (`CachedEngine`, compared cold vs
 //! patched per payload-mutation cell) — plus orthogonal toggles: worker
 //! count, telemetry recording level, and (at compile time) stage
 //! contracts. All of them
@@ -25,10 +27,18 @@ use bluefi_core::reversal::DecodeStrategy;
 use bluefi_core::telemetry::{self, Level};
 use bluefi_core::template::{CachedEngine, CachedScratch};
 use bluefi_core::{BatchJob, SynthesisBatch};
+use bluefi_service::{proto, ScratchBackend, Server, ServiceClient, ServiceConfig};
 use bluefi_wifi::channels::{bt_channel_freq_hz, plan_channel};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Worker counts the batch engine is exercised at.
 pub const WORKER_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// Distinguishes concurrently-running matrix invocations' daemon sockets
+/// (the telemetry-level sweep and the test harness both spin daemons in
+/// one process).
+static SOCKET_SERIAL: AtomicU64 = AtomicU64::new(0);
 
 /// The outcome of one differential matrix run.
 #[derive(Debug, Clone, Default)]
@@ -74,13 +84,18 @@ impl MatrixReport {
 
 /// The matrix job set: three BLE advertising payloads of different lengths
 /// on three different (plannable) Bluetooth carriers.
+/// BT BR channels 10 / 24 / 50 → 2.412 / 2.426 / 2.452 GHz, all of
+/// which sit well inside a 2.4 GHz WiFi channel (0–1 would not). The
+/// `service` axis resends these channel numbers over the wire, so the
+/// daemon re-derives the same plans [`matrix_jobs`] embeds.
+pub const CARRIERS: [u8; 3] = [10, 24, 50];
+
+/// The matrix job set: three BLE advertising payloads of different lengths
+/// on the three [`CARRIERS`].
 pub fn matrix_jobs(chip: Chip) -> Result<Vec<BatchJob>, String> {
-    // BT BR channels 10 / 24 / 50 → 2.412 / 2.426 / 2.452 GHz, all of
-    // which sit well inside a 2.4 GHz WiFi channel (0–1 would not).
-    let carriers = [10u8, 24, 50];
     let data_lens = [0usize, 8, 16];
-    let mut jobs = Vec::with_capacity(carriers.len());
-    for (i, (&bt_ch, &len)) in carriers.iter().zip(&data_lens).enumerate() {
+    let mut jobs = Vec::with_capacity(CARRIERS.len());
+    for (i, (&bt_ch, &len)) in CARRIERS.iter().zip(&data_lens).enumerate() {
         let pdu = AdvPdu {
             pdu_type: AdvPduType::AdvNonconnInd,
             adv_address: [0xA0 + i as u8, 0x11, 0x22, 0x33, 0x44, 0x55],
@@ -161,6 +176,55 @@ fn run_chip(bf: &BlueFi, chip: Chip, report: &mut MatrixReport) -> Result<(), St
             &mut report.divergences,
         );
     }
+
+    // Variant 5: the same jobs through the `bluefi-service` daemon.
+    run_service_chip(bf, chip, &reference, report)
+}
+
+/// The `service` axis: responses fetched over the daemon's unix socket
+/// must be word-identical to a direct in-process synthesis of the same
+/// job. The daemon runs the scratch backend over the same pipeline the
+/// reference uses, and the wire format round-trips every f64 as its
+/// exact bit pattern, so the scalar facts must survive untouched too.
+fn run_service_chip(
+    bf: &BlueFi,
+    chip: Chip,
+    reference: &[Vec<u64>],
+    report: &mut MatrixReport,
+) -> Result<(), String> {
+    let serial = SOCKET_SERIAL.fetch_add(1, Ordering::Relaxed);
+    let path = std::env::temp_dir()
+        .join(format!("bluefi-conf-{}-{serial}.sock", std::process::id()));
+    let path = path.to_string_lossy().to_string();
+    let server = Server::spawn(
+        &path,
+        Arc::new(ScratchBackend::new(bf.clone())),
+        ServiceConfig::default(),
+    )
+    .map_err(|e| format!("spawn conformance daemon: {e}"))?;
+    let run = || -> Result<Vec<Synthesis>, String> {
+        let mut client =
+            ServiceClient::connect(&path).map_err(|e| format!("connect {path}: {e}"))?;
+        client
+            .set_timeout(std::time::Duration::from_secs(30))
+            .map_err(|e| format!("set timeout: {e}"))?;
+        let jobs = matrix_jobs(chip)?;
+        let mut got = Vec::with_capacity(jobs.len());
+        for (j, (job, &bt_ch)) in jobs.iter().zip(&CARRIERS).enumerate() {
+            let result = client
+                .synthesize(&job.bits, bt_ch, job.seed)
+                .map_err(|e| format!("{}/service/job{j}: {e}", chip.name()))?;
+            let syn = proto::synthesis_from_json(&result).ok_or_else(|| {
+                format!("{}/service/job{j}: unparseable synthesis payload", chip.name())
+            })?;
+            got.push(syn);
+        }
+        Ok(got)
+    };
+    // Always tear the daemon down, even when a request failed.
+    let got = run();
+    server.shutdown();
+    compare_jobs("service", reference, &got?, chip, &mut report.divergences);
     Ok(())
 }
 
@@ -216,7 +280,7 @@ pub fn run_matrix() -> Result<MatrixReport, String> {
         variants: ["scratch".to_string()]
             .into_iter()
             .chain(WORKER_COUNTS.iter().map(|n| format!("batch{n}")))
-            .chain(["cached".to_string()])
+            .chain(["service".to_string(), "cached".to_string()])
             .collect(),
         contracts_enabled: bluefi_dsp::contracts::enabled(),
         levels: vec![telemetry::level().name()],

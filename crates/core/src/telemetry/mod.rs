@@ -254,19 +254,23 @@ metric_enum! {
         TemplateMiss => "template_miss",
         TemplateEvict => "template_evict",
         TemplateBypass => "template_bypass",
+        ServiceAccepted => "service_accepted",
+        ServiceShed => "service_shed",
     }
 }
 
 metric_enum! {
     /// Gauges: high-water marks (updated with `fetch_max`) except
-    /// `TemplateBytesResident`, which tracks the absolute resident size
-    /// (updated with `gauge_set` so evictions show).
+    /// `TemplateBytesResident` and `ServiceActiveSessions`, which track
+    /// absolute sizes (updated with `gauge_set` so shrinkage shows).
     Gauge {
         ScratchCodedBits => "scratch_coded_bits_highwater",
         ScratchPhaseSamples => "scratch_phase_samples_highwater",
         ScratchPsduBytes => "scratch_psdu_bytes_highwater",
         ParMaxWorkers => "par_max_workers",
         TemplateBytesResident => "template_bytes_resident",
+        ServiceActiveSessions => "service_active_sessions",
+        ServiceQueueDepth => "service_queue_depth_highwater",
     }
 }
 
@@ -291,6 +295,7 @@ metric_enum! {
         SimSession => "sim_session",
         TemplatePatch => "template_patch",
         TemplateBuild => "template_build",
+        ServiceRequest => "service_request",
     }
 }
 
@@ -758,6 +763,19 @@ pub fn snapshot() -> Snapshot {
     }
 }
 
+/// Captures the recorder and then zeroes it, as one section boundary:
+/// exactly [`snapshot`] followed by [`reset`], returning the snapshot
+/// taken immediately before the reset. Every consumer that reports
+/// per-section telemetry and then starts a fresh section — the
+/// `runtime_profile` bench between its sections, the service daemon's
+/// `stats` endpoint with `reset: true` — goes through this one helper so
+/// their views of "what a section contains" cannot drift apart.
+pub fn drain_section() -> Snapshot {
+    let snap = snapshot();
+    reset();
+    snap
+}
+
 /// Zeroes every counter, gauge and histogram and clears the span ring and
 /// every trace ring (capacities retained). The level and [`warnings`] are
 /// unchanged.
@@ -884,6 +902,34 @@ mod tests {
     }
 
     #[test]
+    fn drain_section_is_snapshot_then_reset() {
+        let _g = lock();
+        set_level(Level::Counters);
+        reset();
+        incr(Counter::ServiceAccepted);
+        add(Counter::ServiceShed, 3);
+        gauge_max(Gauge::ServiceQueueDepth, 7);
+        record_duration(SpanKind::ServiceRequest, Duration::from_micros(40));
+        let first = drain_section();
+        // The returned snapshot holds everything the section recorded...
+        assert_eq!(first.counter(Counter::ServiceAccepted), 1);
+        assert_eq!(first.counter(Counter::ServiceShed), 3);
+        let stat = first.span_stat(SpanKind::ServiceRequest).expect("recorded");
+        assert_eq!(stat.hist.count, 1);
+        // ...and the recorder restarts empty: a second drain sees zeros
+        // (no double counting, no carry-over) while the level survives.
+        let second = drain_section();
+        assert_eq!(second.level, Level::Counters);
+        assert_eq!(second.counter(Counter::ServiceAccepted), 0);
+        assert_eq!(second.counter(Counter::ServiceShed), 0);
+        assert_eq!(gauge(Gauge::ServiceQueueDepth), 0);
+        assert!(second.spans.is_empty());
+        assert!(second.events.is_empty());
+        set_level(Level::Off);
+        reset();
+    }
+
+    #[test]
     fn snapshot_tables_render() {
         let _g = lock();
         set_level(Level::Counters);
@@ -922,6 +968,21 @@ mod tests {
                 "counter {name} missing from snapshot"
             );
         }
+        // The service metrics likewise: counters, gauges and the
+        // per-request span all export under pinned names.
+        for name in ["service_accepted", "service_shed"] {
+            assert!(
+                j.get("counters").and_then(|c| c.get(name)).is_some(),
+                "counter {name} missing from snapshot"
+            );
+        }
+        for name in ["service_active_sessions", "service_queue_depth_highwater"] {
+            assert!(
+                j.get("gauges").and_then(|g| g.get(name)).is_some(),
+                "gauge {name} missing from snapshot"
+            );
+        }
+        assert_eq!(SpanKind::ServiceRequest.name(), "service_request");
         assert_eq!(
             j.get("gauges")
                 .and_then(|g| g.get("template_bytes_resident"))

@@ -1,0 +1,61 @@
+//! The BlueFi synthesis daemon.
+//!
+//! ```text
+//! bluefi-serviced --socket /tmp/bluefi.sock [--backend mock|scratch|batch|cached]
+//!                 [--workers N] [--queue N]
+//! ```
+//!
+//! Runs until a client calls `drain` (or the process is killed), then
+//! finishes in-flight work and exits.
+
+use bluefi_core::pipeline::BlueFi;
+use bluefi_core::template::CachedEngine;
+use bluefi_service::{
+    BatchBackend, CachedBackend, MockBackend, ScratchBackend, ServerState, ServiceBackend,
+    ServiceConfig,
+};
+use std::sync::Arc;
+
+fn arg(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let socket = arg(&args, "--socket").unwrap_or_else(|| "/tmp/bluefi.sock".to_string());
+    let backend_name = arg(&args, "--backend").unwrap_or_else(|| "scratch".to_string());
+    let workers: usize = arg(&args, "--workers").and_then(|v| v.parse().ok()).unwrap_or(0);
+    let queue: usize = arg(&args, "--queue").and_then(|v| v.parse().ok()).unwrap_or(256);
+
+    let backend: Arc<dyn ServiceBackend> = match backend_name.as_str() {
+        "mock" => Arc::new(MockBackend::new()),
+        "scratch" => Arc::new(ScratchBackend::new(BlueFi::default())),
+        "batch" => Arc::new(BatchBackend::new(BlueFi::default(), workers)),
+        "cached" => Arc::new(CachedBackend::new(CachedEngine::new(BlueFi::default()), workers)),
+        other => {
+            eprintln!("unknown backend {other:?}: expected mock|scratch|batch|cached");
+            std::process::exit(2);
+        }
+    };
+
+    let cfg = ServiceConfig { workers, queue_depth: queue, ..ServiceConfig::default() };
+    let server = match bluefi_service::Server::spawn(&socket, backend, cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("bind {socket}: {e}");
+            std::process::exit(2);
+        }
+    };
+    println!("bluefi-serviced: {backend_name} backend listening on {socket}");
+    while server.state() == ServerState::Running {
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+    let stopped = server.shutdown();
+    let stats = stopped.stats();
+    println!(
+        "bluefi-serviced: drained ({} requests, {} ok, {} shed)",
+        stats.requests(),
+        stats.ok(),
+        stats.shed()
+    );
+}

@@ -100,12 +100,12 @@ fn gate_actually_scanned_the_tree() {
     let j = workspace_json();
     let files = j.get("files").and_then(Json::as_f64).unwrap_or(0.0) as usize;
     assert!(files >= 50, "only {files} source files scanned — path walk broken?");
-    // Exact count: nine library/app crates + bluefi-conformance + the root
+    // Exact count: ten library/app crates + bluefi-conformance + the root
     // package. A new crate must bump this, keeping R3's hermetic-manifest
     // rule covering the whole tree.
     assert_eq!(
         j.get("manifests").and_then(Json::as_f64),
-        Some(11.0),
+        Some(12.0),
         "manifest count drifted — did a crate join or leave the workspace \
          without updating the R3 gate?"
     );
